@@ -1,0 +1,20 @@
+"""Benchmark E6 — the introduction's counterexample to naive 0-biased protocols.
+
+Paper: under sending omissions, a protocol that decides 0 as soon as it hears
+about a 0 cannot satisfy EBA (a faulty agent reveals its 0 to one agent at the
+last moment); protocols that decide 0 only via 0-chains are immune.
+"""
+
+from repro.experiments import agreement_violation
+
+
+def test_bench_agreement_violation_sweep(benchmark):
+    sizes = ((3, 1), (4, 1), (6, 2), (8, 3), (10, 4))
+    measurements = benchmark(agreement_violation.sweep, sizes)
+    for measurement in measurements:
+        if measurement.expected_to_break:
+            assert not measurement.agreement_holds, measurement
+        else:
+            assert measurement.agreement_holds, measurement
+    naive = [m for m in measurements if m.protocol == "P_naive0"]
+    assert len(naive) == len(sizes)

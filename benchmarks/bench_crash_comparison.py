@@ -1,0 +1,22 @@
+"""Benchmark E9 — crash failures vs sending omissions (0-bias ablation).
+
+Paper (introduction / Section 6): with crash failures a 0 can only spread via
+what is in effect a 0-chain, so the classical "decide 0 when you hear about a
+0" rule is correct; with sending omissions it violates Agreement, which is why
+``P0`` insists on 0-chains.
+"""
+
+from repro.experiments import crash_comparison
+
+
+def test_bench_crash_vs_omissions(benchmark):
+    rows = benchmark.pedantic(crash_comparison.measure,
+                              kwargs={"n": 8, "t": 3, "count": 25, "seed": 17},
+                              rounds=1, iterations=1)
+    for row in rows:
+        if row.failure_model.startswith("Crash"):
+            assert row.spec_violations == 0, row
+        elif row.protocol == "P_naive0":
+            assert row.spec_violations == 1, row
+        else:
+            assert row.spec_violations == 0, row

@@ -1,0 +1,27 @@
+"""Benchmark E2 — Proposition 8.2: failure-free decision rounds.
+
+Paper: with at least one initial 0 every protocol decides by round 2; with all
+initial preferences 1, ``P_min`` needs ``t + 2`` rounds while ``P_basic`` and
+the FIP still decide in round 2.
+"""
+
+from repro.experiments import decision_rounds
+
+
+def test_bench_failure_free_decision_rounds(benchmark):
+    settings = ((5, 1), (10, 3), (20, 8))
+    rows = benchmark.pedantic(decision_rounds.sweep_decision_rounds, args=(settings,),
+                              rounds=1, iterations=1)
+    assert all(row.matches_paper for row in rows)
+    # Spot-check the headline asymmetry at the largest size.
+    largest = [row for row in rows if row.n == 20 and row.scenario == "all agents prefer 1"]
+    by_protocol = {row.protocol: row.last_decision_round for row in largest}
+    assert by_protocol["P_min"] == 10
+    assert by_protocol["P_basic"] == 2
+    assert by_protocol["P_opt"] == 2
+
+
+def test_bench_decision_rounds_small(benchmark):
+    """A small repeatable configuration for timing the simulator itself."""
+    rows = benchmark(decision_rounds.measure_decision_rounds, 8, 3)
+    assert all(row.matches_paper for row in rows)

@@ -1,0 +1,28 @@
+"""Benchmark E4 — Corollaries 6.7 / 7.8: dominance over corresponding runs.
+
+Paper: ``P_min``, ``P_basic``, and the FIP are each optimal for their own
+information exchange, so no protocol should strictly dominate them; the
+deliberately weakened delayed baseline is strictly dominated by ``P_min``.
+"""
+
+from repro.experiments import dominance_study
+
+
+def test_bench_pairwise_dominance(benchmark):
+    results = benchmark.pedantic(dominance_study.study,
+                                 kwargs={"n": 6, "t": 2, "random_count": 20, "seed": 7},
+                                 rounds=1, iterations=1)
+    richness = {"P_opt": 3, "P_basic": 2, "P_min": 1, "P_min_delayed(2)": 0}
+    for (first, second), result in results.items():
+        if richness[first] > richness[second]:
+            assert not result.second_strictly_dominates, result.summary()
+        if richness[second] > richness[first]:
+            assert not result.first_strictly_dominates, result.summary()
+    assert results[("P_min", "P_min_delayed(2)")].first_strictly_dominates
+    assert results[("P_opt", "P_min")].first_dominates
+
+
+def test_bench_dominance_small(benchmark):
+    """A small configuration suitable for repeated timing."""
+    results = benchmark(dominance_study.study, 5, 1, 6, 3)
+    assert results[("P_min", "P_min_delayed(2)")].first_strictly_dominates

@@ -1,0 +1,50 @@
+"""Benchmark E3 — Example 7.1: the full-information advantage under heavy failures.
+
+Paper (n = 20, t = 10, ten silent faulty agents, everyone prefers 1): the FIP
+decides in round 3, while ``P_min`` and ``P_basic`` wait until round t + 2 = 12.
+The default benchmark runs a scaled instance (n = 10, t = 5) with the same
+shape — round 3 versus round t + 2 — because every full-information message
+carries an O(n² t)-label graph and the pure-Python simulation of the original
+size takes minutes.
+"""
+
+import pytest
+
+from repro.experiments import example_7_1
+
+
+def test_bench_example_7_1_scaled(benchmark):
+    measurements = benchmark.pedantic(example_7_1.measure_example,
+                                      kwargs={"n": 10, "t": 5}, rounds=1, iterations=1)
+    rounds = {m.protocol: m.nonfaulty_decide_by_round for m in measurements}
+    assert rounds["P_opt"] == 3
+    assert rounds["P_min"] == 7
+    assert rounds["P_basic"] == 7
+    assert all(m.decided_value == 1 for m in measurements)
+
+
+def test_bench_example_7_1_sweep(benchmark):
+    """Sweep the number of silent faulty agents at n = 8, t = 4."""
+    measurements = benchmark.pedantic(example_7_1.sweep_silent_faulty, args=(8, 4),
+                                      rounds=1, iterations=1)
+    opt = {m.silent_faulty: m.nonfaulty_decide_by_round
+           for m in measurements if m.protocol == "P_opt"}
+    limited = {m.silent_faulty: m.nonfaulty_decide_by_round
+               for m in measurements if m.protocol == "P_min"}
+    assert opt[4] == 3
+    assert limited[4] == 6
+    assert all(opt[k] <= limited[k] for k in opt)
+
+
+def test_bench_example_7_1_paper_size(benchmark):
+    """The paper's original n = 20, t = 10 instance.
+
+    The run is short-circuited by the common-knowledge rule (everyone decides
+    by round 3/12), so even with O(n² t)-bit graph messages this stays fast.
+    """
+    measurements = benchmark.pedantic(example_7_1.measure_example,
+                                      kwargs={"n": 20, "t": 10}, rounds=1, iterations=1)
+    rounds = {m.protocol: m.nonfaulty_decide_by_round for m in measurements}
+    assert rounds["P_opt"] == 3
+    assert rounds["P_min"] == 12
+    assert rounds["P_basic"] == 12

@@ -1,0 +1,28 @@
+"""Benchmark E8 — Section 8 discussion: how much does full information buy?
+
+Paper: in failure-free runs ``P_basic`` decides as fast as the FIP, and the
+authors conjecture the gap stays small even with failures.  The benchmark
+quantifies the per-agent decision-round gap over random omission adversaries
+and over the silent-faulty sweep (the FIP's best case).
+"""
+
+from repro.experiments import fip_gap
+
+
+def test_bench_random_adversary_gap(benchmark):
+    measurements = benchmark.pedantic(
+        fip_gap.random_gap_study,
+        kwargs={"n": 8, "t": 3, "count": 30, "seed": 11}, rounds=1, iterations=1)
+    for measurement in measurements:
+        # The conjecture: typically not much worse — under a round on average.
+        assert measurement.mean_gap <= 1.0
+        assert measurement.fraction_equal >= 0.5
+
+
+def test_bench_worst_case_gap(benchmark):
+    measurements = benchmark.pedantic(
+        fip_gap.worst_case_gap_study, kwargs={"n": 8, "t": 3}, rounds=1, iterations=1)
+    by_protocol = {m.protocol: m for m in measurements}
+    # The silent-faulty sweep is where the FIP shines: P_min pays the most.
+    assert by_protocol["P_min"].max_gap >= 2
+    assert by_protocol["P_min"].mean_gap >= by_protocol["P_basic"].mean_gap

@@ -1,0 +1,39 @@
+"""Benchmark E7 — Theorems 6.5 / 6.6: the concrete protocols implement ``P0``.
+
+Paper: ``P_min`` implements the knowledge-based program ``P0`` in ``γ_min`` and
+``P_basic`` implements it in ``γ_basic`` (for ``t ≤ n - 2``); moreover ``P1``
+prescribes exactly the same actions as ``P0`` in those limited-information
+contexts.  The benchmark verifies this by exhaustive model checking at n = 3
+(n = 4 is exercised by the slow test suite).
+"""
+
+import pytest
+
+from repro.experiments import implementation_check
+
+
+def test_bench_theorem_6_5(benchmark):
+    report = benchmark.pedantic(implementation_check.check_theorem_6_5,
+                                kwargs={"n": 3, "t": 1}, rounds=1, iterations=1)
+    assert report.ok
+    assert report.checked_states > 0
+
+
+def test_bench_theorem_6_6(benchmark):
+    report = benchmark.pedantic(implementation_check.check_theorem_6_6,
+                                kwargs={"n": 3, "t": 1}, rounds=1, iterations=1)
+    assert report.ok
+
+
+def test_bench_theorem_a21(benchmark):
+    """Theorem A.21 / Proposition 7.9: P_opt implements P1 in the FIP context."""
+    report = benchmark.pedantic(implementation_check.check_theorem_a21,
+                                kwargs={"n": 3, "t": 1}, rounds=1, iterations=1)
+    assert report.ok
+    assert report.checked_states > 400
+
+
+def test_bench_p0_p1_equivalence(benchmark):
+    results = benchmark.pedantic(implementation_check.check_p0_p1_equivalence,
+                                 kwargs={"n": 3, "t": 1}, rounds=1, iterations=1)
+    assert results == {"gamma_min": True, "gamma_basic": True}

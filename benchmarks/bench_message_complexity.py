@@ -1,0 +1,37 @@
+"""Benchmark E1 — Proposition 8.1: bits sent per failure-free run.
+
+Paper: ``P_min`` sends exactly ``n²`` bits, ``P_basic`` sends ``O(n² t)`` bits,
+and a communication-graph FIP sends ``O(n⁴ t²)`` bits per run.
+"""
+
+from repro.experiments import message_complexity
+
+
+def test_bench_bits_limited_exchanges(benchmark):
+    """Time the P_min / P_basic bit measurement over an (n, t) sweep."""
+    settings = ((5, 1), (10, 3), (20, 6), (40, 10))
+    rows = benchmark(message_complexity.sweep_bits, settings, include_fip=False)
+    by_protocol = {}
+    for row in rows:
+        by_protocol.setdefault((row.protocol, row.n, row.t), []).append(row.bits)
+    for (protocol, n, t), bits in by_protocol.items():
+        if protocol == "P_min":
+            assert set(bits) == {n * n}
+        else:
+            assert max(bits) <= 4 * n * n * (t + 1)
+
+
+def test_bench_bits_full_information(benchmark):
+    """Time the FIP bit measurement (smaller sweep: each message is O(n² t) bits)."""
+    settings = ((5, 1), (10, 3), (16, 5))
+    rows = benchmark.pedantic(message_complexity.sweep_bits, args=(settings,),
+                              kwargs={"include_fip": True}, rounds=1, iterations=1)
+    fip_rows = [row for row in rows if row.protocol == "P_opt"]
+    limited_rows = [row for row in rows if row.protocol != "P_opt"]
+    assert all(row.within_bound for row in rows)
+    # The FIP pays at least an order of magnitude more bits than the limited
+    # exchanges at every size in the sweep.
+    for n, t in settings:
+        fip_bits = min(row.bits for row in fip_rows if row.n == n)
+        limited_bits = max(row.bits for row in limited_rows if row.n == n)
+        assert fip_bits > 10 * limited_bits

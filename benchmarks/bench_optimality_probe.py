@@ -1,0 +1,23 @@
+"""Benchmark E10 — the one-step-deviation optimality probe (Corollary 6.7).
+
+Paper: ``P_min`` and ``P_basic`` are optimal with respect to their contexts.
+The probe tries every protocol at Hamming distance one from their decision
+tables (on reachable states, over the exhaustively enumerated SO(t) context)
+and checks that each such speed-up either violates EBA or fails to dominate.
+"""
+
+from repro.experiments import optimality_probe
+
+
+def test_bench_probe_pmin_exhaustive(benchmark):
+    report = benchmark.pedantic(optimality_probe.probe_pmin, kwargs={"n": 3, "t": 1},
+                                rounds=1, iterations=1)
+    assert report.deviations_tried >= 20
+    assert report.consistent_with_optimality
+
+
+def test_bench_probe_pbasic_exhaustive(benchmark):
+    report = benchmark.pedantic(optimality_probe.probe_pbasic, kwargs={"n": 3, "t": 1},
+                                rounds=1, iterations=1)
+    assert report.deviations_tried >= 20
+    assert report.consistent_with_optimality

@@ -1,0 +1,23 @@
+"""Benchmark E11 — Proposition 6.4: the Definition 6.2 safety condition.
+
+Paper: ``P0`` is safe with respect to ``γ_min`` and ``γ_basic`` whenever
+``n - t ≥ 2``; by Theorem 6.3 this makes ``P_min`` and ``P_basic`` optimal in
+those contexts.  The benchmark checks both clauses of the condition over the
+exhaustively enumerated SO(1) context at n = 3.
+"""
+
+from repro.experiments import safety_check
+
+
+def test_bench_safety_gamma_min(benchmark):
+    report = benchmark.pedantic(safety_check.check_gamma_min, kwargs={"n": 3, "t": 1},
+                                rounds=1, iterations=1)
+    assert report.safe
+    assert report.clause1_checks > 1000
+    assert report.clause2_checks > 1000
+
+
+def test_bench_safety_gamma_basic(benchmark):
+    report = benchmark.pedantic(safety_check.check_gamma_basic, kwargs={"n": 3, "t": 1},
+                                rounds=1, iterations=1)
+    assert report.safe

@@ -1,0 +1,35 @@
+"""Performance benchmarks for the simulation substrate itself.
+
+These do not correspond to a table in the paper; they document how the
+simulator and the polynomial-time ``P_opt`` decision procedure scale with the
+number of agents, which is what limits reproducing Example 7.1 at its original
+size in pure Python (the repro band notes "easy simulation; slow for large
+node counts").
+"""
+
+import pytest
+
+from repro.protocols import BasicProtocol, MinProtocol, OptimalFipProtocol
+from repro.simulation import simulate
+from repro.workloads import all_ones, example_7_1, single_zero
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_bench_pmin_failure_free(benchmark, n):
+    trace = benchmark(simulate, MinProtocol(n // 4), n, single_zero(n))
+    assert trace.last_decision_round() == 2
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_bench_pbasic_all_ones(benchmark, n):
+    trace = benchmark(simulate, BasicProtocol(n // 4), n, all_ones(n))
+    assert trace.last_decision_round() == 2
+
+
+@pytest.mark.parametrize("n", [6, 10, 14])
+def test_bench_popt_silent_faulty(benchmark, n):
+    t = n // 2 - 1
+    preferences, pattern = example_7_1(n=n, t=t)
+    trace = benchmark.pedantic(simulate, args=(OptimalFipProtocol(t), n, preferences, pattern),
+                               rounds=1, iterations=1)
+    assert trace.last_decision_round(nonfaulty_only=True) == 3

@@ -1,0 +1,30 @@
+"""Benchmark E5 — Proposition 6.1: every agent decides by round t + 2.
+
+Paper: all implementations of ``P0`` terminate after at most ``t + 1`` rounds of
+message exchange (decisions by round ``t + 2``), with Validity holding even for
+faulty agents; the FIP implementation of ``P1`` obeys the same bound.
+"""
+
+from repro.experiments import termination_bound
+
+
+def test_bench_worst_case_decision_round(benchmark):
+    n, t = 8, 3
+    scenarios = termination_bound.adversarial_workload(n, t, random_count=30, seed=3)
+    measurements = benchmark.pedantic(
+        termination_bound.measure_termination, args=(n, t, scenarios), rounds=1, iterations=1)
+    for measurement in measurements:
+        assert measurement.within_bound
+        assert measurement.spec_violations == 0
+        assert measurement.worst_decision_round <= t + 2
+
+
+def test_bench_exhaustive_small_system(benchmark):
+    """Exhaustive SO(1) adversaries for n = 3 (every pattern, every preference)."""
+    n, t = 3, 1
+    scenarios = termination_bound.exhaustive_workload(n, t)
+    measurements = benchmark.pedantic(
+        termination_bound.measure_termination, args=(n, t, scenarios), rounds=1, iterations=1)
+    for measurement in measurements:
+        assert measurement.within_bound
+        assert measurement.spec_violations == 0

@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's quantitative results (see
+DESIGN.md's per-experiment index and EXPERIMENTS.md for the measured values).
+The benchmarks assert the qualitative *shape* of each claim — who wins and by
+roughly what factor — and time the experiment driver that produces it.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def medium_size():
+    """The (n, t) used by the medium-sized benchmark runs."""
+    return 10, 4

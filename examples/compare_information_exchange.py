@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""The Section 8 story: what does limited information exchange cost?
+
+Reproduces the paper's cost/benefit comparison between the minimal, basic, and
+full-information exchanges:
+
+* Proposition 8.1 — bits sent per failure-free run,
+* Proposition 8.2 — failure-free decision rounds,
+* Example 7.1   — the one family of runs where full information genuinely wins,
+* the Section 8 conjecture — how small the gap is under random failures.
+
+Run it with:  ``python examples/compare_information_exchange.py [--full]``
+(``--full`` also runs Example 7.1 at the paper's original size n=20, t=10,
+which takes a few minutes because every FIP message carries an O(n^2 t) graph).
+"""
+
+import argparse
+
+from repro.experiments import decision_rounds, example_7_1, fip_gap, message_complexity
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="also reproduce Example 7.1 at the paper's n=20, t=10")
+    args = parser.parse_args()
+
+    print(message_complexity.report(settings=((5, 1), (8, 3), (12, 5))))
+    print()
+    print(decision_rounds.report(settings=((5, 1), (8, 3), (12, 5))))
+    print()
+    print(example_7_1.report(n=10, t=5))
+    print()
+    print(fip_gap.report(n=6, t=2, count=25))
+
+    if args.full:
+        print()
+        print("Reproducing Example 7.1 at the paper's original size (n=20, t=10)...")
+        print(example_7_1.report(n=20, t=10, include_sweep=False))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Failure injection: adversaries, hidden 0-chains, and why naive protocols break.
+
+This example exercises the failure substrate directly:
+
+* the introduction's counterexample — a faulty agent that reveals its 0 to a
+  single confidant at the last possible round, which splits naive 0-biased
+  protocols but not the paper's 0-chain protocols;
+* a hidden-chain adversary — a chain of faulty agents that keeps a 0-decision
+  propagating in secret, forcing everyone else to wait the full t+1 rounds;
+* random sending-omission adversaries, with the EBA specification checked on
+  every run and the worst observed decision round reported.
+
+Run it with:  ``python examples/failure_injection.py``
+"""
+
+from repro import MinProtocol, NaiveZeroBiasedProtocol, OptimalFipProtocol, check_eba, simulate
+from repro.analysis import longest_zero_chain, zero_chains
+from repro.experiments import agreement_violation
+from repro.failures import random_omission_adversaries
+from repro.workloads import hidden_chain_scenario, intro_counterexample, random_preferences
+
+
+def intro_counterexample_demo() -> None:
+    print("=" * 72)
+    print("1. The introduction's counterexample (n=4, t=1)")
+    print("=" * 72)
+    n, t = 4, 1
+    preferences, pattern = intro_counterexample(n=n, t=t)
+    for protocol in (NaiveZeroBiasedProtocol(t), MinProtocol(t)):
+        trace = simulate(protocol, n, preferences, pattern)
+        report = check_eba(trace)
+        decisions = {agent: trace.decision_value(agent) for agent in sorted(trace.nonfaulty)}
+        print(f"{protocol.name:>10}: nonfaulty decisions {decisions} -> "
+              f"{'Agreement VIOLATED' if report.agreement else 'EBA satisfied'}")
+    print()
+    print(agreement_violation.report(sizes=((3, 1), (5, 2), (7, 3))))
+    print()
+
+
+def hidden_chain_demo() -> None:
+    print("=" * 72)
+    print("2. A hidden 0-chain (n=7, chain 0 -> 1 -> 2)")
+    print("=" * 72)
+    n, t = 7, 3
+    preferences, pattern = hidden_chain_scenario(n, chain_length=2)
+    for protocol in (MinProtocol(t), OptimalFipProtocol(t)):
+        trace = simulate(protocol, n, preferences, pattern)
+        print(f"{protocol.name:>10}: decisions "
+              f"{ {a: (trace.decision_round(a), trace.decision_value(a)) for a in range(n)} }")
+        print(f"{'':>12}longest 0-chain in the run: {longest_zero_chain(trace)}")
+    print()
+
+
+def random_adversaries_demo() -> None:
+    print("=" * 72)
+    print("3. Random sending-omission adversaries (n=6, t=2, 20 runs)")
+    print("=" * 72)
+    n, t, count = 6, 2, 20
+    adversaries = random_omission_adversaries(n, t, horizon=t + 3, count=count, seed=42)
+    preferences = random_preferences(n, count, seed=43)
+    protocol = MinProtocol(t)
+    worst_round = 0
+    all_ok = True
+    for prefs, pattern in zip(preferences, adversaries):
+        trace = simulate(protocol, n, prefs, pattern)
+        report = check_eba(trace, deadline=t + 2, validity_for_faulty=True)
+        all_ok &= report.ok
+        last = trace.last_decision_round()
+        worst_round = max(worst_round, last or 0)
+        if zero_chains(trace):
+            chain = longest_zero_chain(trace)
+            assert chain is not None
+    print(f"all {count} runs satisfy EBA with deadline t+2={t + 2}: {all_ok}")
+    print(f"worst observed decision round: {worst_round}")
+    print()
+
+
+def main() -> None:
+    intro_counterexample_demo()
+    hidden_chain_demo()
+    random_adversaries_demo()
+
+
+if __name__ == "__main__":
+    main()

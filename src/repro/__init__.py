@@ -1,0 +1,120 @@
+"""repro — a reproduction of *Optimal Eventual Byzantine Agreement Protocols with
+Omission Failures* (Alpturer, Halpern, van der Meyden, PODC 2023).
+
+The package implements, from scratch:
+
+* the runs-and-systems semantic model and an epistemic model checker
+  (:mod:`repro.logic`, :mod:`repro.systems`);
+* the sending-omissions failure model and adversary constructions
+  (:mod:`repro.failures`);
+* the three information-exchange protocols ``E_min``, ``E_basic``, ``E_fip``
+  (:mod:`repro.exchange`);
+* the action protocols ``P_min``, ``P_basic``, and the polynomial-time optimal
+  full-information protocol ``P_opt`` (:mod:`repro.protocols`);
+* the knowledge-based programs ``P0`` and ``P1`` and implementation checking
+  (:mod:`repro.kbp`);
+* a synchronous simulator, EBA specification checkers, and the analyses used
+  by the paper's Section 8 cost comparison (:mod:`repro.simulation`,
+  :mod:`repro.spec`, :mod:`repro.analysis`);
+* the experiments that regenerate every quantitative claim of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import MinProtocol, simulate, check_eba
+>>> trace = simulate(MinProtocol(t=1), n=4, preferences=[0, 1, 1, 1])
+>>> check_eba(trace).ok
+True
+>>> trace.decision_value(1)
+0
+"""
+
+from .core import (
+    Action,
+    AgentId,
+    ConfigurationError,
+    DECIDE_0,
+    DECIDE_1,
+    NOOP,
+    ProtocolError,
+    ReproError,
+    Value,
+    decide,
+)
+from .failures import (
+    CrashModel,
+    FailureFreeModel,
+    FailurePattern,
+    SendingOmissionModel,
+    silent_adversary,
+)
+from .exchange import (
+    BasicExchange,
+    CommGraph,
+    FullInformationExchange,
+    MinimalExchange,
+)
+from .protocols import (
+    ActionProtocol,
+    BasicProtocol,
+    DelayedMinProtocol,
+    EagerOneProtocol,
+    MinProtocol,
+    NaiveZeroBiasedProtocol,
+    OptimalFipProtocol,
+)
+from .simulation import RunTrace, corresponding_runs, run_batch, run_protocol, simulate
+from .spec import SpecReport, check_eba, require_eba
+from .analysis import (
+    DominanceResult,
+    compare_protocols,
+    pairwise_comparison,
+    run_metrics,
+    zero_chains,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "ActionProtocol",
+    "AgentId",
+    "BasicExchange",
+    "BasicProtocol",
+    "CommGraph",
+    "ConfigurationError",
+    "CrashModel",
+    "DECIDE_0",
+    "DECIDE_1",
+    "DelayedMinProtocol",
+    "DominanceResult",
+    "EagerOneProtocol",
+    "FailureFreeModel",
+    "FailurePattern",
+    "FullInformationExchange",
+    "MinProtocol",
+    "MinimalExchange",
+    "NOOP",
+    "NaiveZeroBiasedProtocol",
+    "OptimalFipProtocol",
+    "ProtocolError",
+    "ReproError",
+    "RunTrace",
+    "SendingOmissionModel",
+    "SpecReport",
+    "Value",
+    "check_eba",
+    "compare_protocols",
+    "corresponding_runs",
+    "decide",
+    "pairwise_comparison",
+    "require_eba",
+    "run_batch",
+    "run_metrics",
+    "run_protocol",
+    "silent_adversary",
+    "simulate",
+    "zero_chains",
+    "__version__",
+]

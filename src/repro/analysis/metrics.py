@@ -1,0 +1,140 @@
+"""Quantitative metrics over run traces.
+
+These are the measurements Section 8 talks about:
+
+* **bits sent** per run (Proposition 8.1),
+* **messages sent** per run,
+* **decision rounds** — when each agent first decides (Proposition 8.2,
+  Example 7.1), and aggregates over batches of runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.types import AgentId, Value
+from ..simulation.trace import RunTrace
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Per-run metrics extracted from a trace."""
+
+    protocol_name: str
+    n: int
+    num_faulty: int
+    rounds_simulated: int
+    total_bits: int
+    total_bits_excluding_self: int
+    total_messages: int
+    decision_rounds: Dict[AgentId, Optional[int]]
+    decision_values: Dict[AgentId, Optional[Value]]
+    last_nonfaulty_decision_round: Optional[int]
+
+    @property
+    def earliest_decision_round(self) -> Optional[int]:
+        """The earliest first-decision round across all agents (``None`` if nobody decides)."""
+        rounds = [r for r in self.decision_rounds.values() if r is not None]
+        return min(rounds) if rounds else None
+
+
+def run_metrics(trace: RunTrace) -> RunMetrics:
+    """Extract the standard metrics from a single trace."""
+    return RunMetrics(
+        protocol_name=trace.protocol_name,
+        n=trace.n,
+        num_faulty=trace.pattern.num_faulty,
+        rounds_simulated=trace.horizon,
+        total_bits=trace.total_bits(include_self=True),
+        total_bits_excluding_self=trace.total_bits(include_self=False),
+        total_messages=trace.total_messages(include_self=True),
+        decision_rounds={agent: trace.decision_round(agent) for agent in range(trace.n)},
+        decision_values={agent: trace.decision_value(agent) for agent in range(trace.n)},
+        last_nonfaulty_decision_round=trace.last_decision_round(nonfaulty_only=True),
+    )
+
+
+def nonfaulty_decision_rounds(trace: RunTrace) -> List[int]:
+    """First-decision rounds of the nonfaulty agents (only those that decide)."""
+    rounds = []
+    for agent in sorted(trace.nonfaulty):
+        round_number = trace.decision_round(agent)
+        if round_number is not None:
+            rounds.append(round_number)
+    return rounds
+
+
+def last_nonfaulty_decision_round(trace: RunTrace) -> Optional[int]:
+    """The round by which the last nonfaulty agent has decided (``None`` if one never does)."""
+    return trace.last_decision_round(nonfaulty_only=True)
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Metrics aggregated over a batch of runs of the same protocol."""
+
+    protocol_name: str
+    runs: int
+    mean_bits: float
+    max_bits: int
+    mean_messages: float
+    mean_last_decision_round: float
+    max_last_decision_round: int
+    mean_decision_round: float
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dict suitable for the table renderer."""
+        return {
+            "protocol": self.protocol_name,
+            "runs": self.runs,
+            "mean bits": round(self.mean_bits, 1),
+            "max bits": self.max_bits,
+            "mean msgs": round(self.mean_messages, 1),
+            "mean last decision": round(self.mean_last_decision_round, 2),
+            "max last decision": self.max_last_decision_round,
+            "mean decision": round(self.mean_decision_round, 2),
+        }
+
+
+def aggregate_metrics(traces: Sequence[RunTrace]) -> AggregateMetrics:
+    """Aggregate a batch of traces of the *same* protocol."""
+    if not traces:
+        raise ValueError("cannot aggregate an empty batch of traces")
+    names = {trace.protocol_name for trace in traces}
+    if len(names) != 1:
+        raise ValueError(f"traces from multiple protocols in one aggregate: {sorted(names)}")
+    bits = [trace.total_bits() for trace in traces]
+    messages = [trace.total_messages() for trace in traces]
+    last_rounds: List[int] = []
+    all_rounds: List[int] = []
+    for trace in traces:
+        last = last_nonfaulty_decision_round(trace)
+        if last is not None:
+            last_rounds.append(last)
+        all_rounds.extend(nonfaulty_decision_rounds(trace))
+    return AggregateMetrics(
+        protocol_name=names.pop(),
+        runs=len(traces),
+        mean_bits=statistics.fmean(bits),
+        max_bits=max(bits),
+        mean_messages=statistics.fmean(messages),
+        mean_last_decision_round=statistics.fmean(last_rounds) if last_rounds else float("nan"),
+        max_last_decision_round=max(last_rounds) if last_rounds else 0,
+        mean_decision_round=statistics.fmean(all_rounds) if all_rounds else float("nan"),
+    )
+
+
+def decision_round_histogram(traces: Iterable[RunTrace],
+                             nonfaulty_only: bool = True) -> Dict[int, int]:
+    """Histogram of first-decision rounds across a batch of traces."""
+    histogram: Dict[int, int] = {}
+    for trace in traces:
+        agents = sorted(trace.nonfaulty) if nonfaulty_only else range(trace.n)
+        for agent in agents:
+            round_number = trace.decision_round(agent)
+            if round_number is None:
+                continue
+            histogram[round_number] = histogram.get(round_number, 0) + 1
+    return dict(sorted(histogram.items()))

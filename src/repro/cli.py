@@ -1,0 +1,213 @@
+"""Command-line interface for the reproduction.
+
+Two entry points matter in practice:
+
+* ``repro-eba run`` — simulate a single scenario with one of the paper's
+  protocols and print the round-by-round trace, decision timeline, and the EBA
+  specification check;
+* ``repro-eba experiment <id>`` — regenerate one of the paper's quantitative
+  results (E1..E11, see ``DESIGN.md`` / ``EXPERIMENTS.md``) and print its table.
+
+Examples
+--------
+::
+
+    repro-eba run --protocol opt --scenario example71 --n 10 --t 5
+    repro-eba run --protocol min --n 5 --t 1 --preferences 0,1,1,1,1 --show-rounds
+    repro-eba experiment e3 --n 12 --t 6
+    repro-eba list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .experiments import (
+    agreement_violation,
+    crash_comparison,
+    decision_rounds,
+    dominance_study,
+    example_7_1,
+    fip_gap,
+    implementation_check,
+    message_complexity,
+    optimality_probe,
+    safety_check,
+    termination_bound,
+)
+from .failures.pattern import FailurePattern
+from .protocols.base import ActionProtocol
+from .protocols.baselines import DelayedMinProtocol, NaiveZeroBiasedProtocol
+from .protocols.pbasic import BasicProtocol
+from .protocols.pmin import MinProtocol
+from .protocols.popt import OptimalFipProtocol
+from .reporting.trace_view import render_decision_timeline, render_run
+from .simulation.engine import simulate
+from .spec.eba import check_eba
+from .workloads import scenarios as scenario_lib
+
+#: Protocol name -> constructor taking the failure bound t.
+PROTOCOLS: Dict[str, Callable[[int], ActionProtocol]] = {
+    "min": MinProtocol,
+    "basic": BasicProtocol,
+    "opt": OptimalFipProtocol,
+    "naive0": NaiveZeroBiasedProtocol,
+    "delayed": lambda t: DelayedMinProtocol(t, delay=1),
+}
+
+#: Experiment id -> (description, report callable taking (n, t)).
+EXPERIMENTS: Dict[str, tuple] = {
+    "e1": ("Proposition 8.1 — bits sent per failure-free run",
+           lambda n, t: message_complexity.report(settings=((n, t),))),
+    "e2": ("Proposition 8.2 — failure-free decision rounds",
+           lambda n, t: decision_rounds.report(settings=((n, t),))),
+    "e3": ("Example 7.1 — full-information advantage under silent failures",
+           lambda n, t: example_7_1.report(n=n, t=t)),
+    "e4": ("Corollaries 6.7 / 7.8 — dominance over corresponding runs",
+           lambda n, t: dominance_study.report(n=n, t=t)),
+    "e5": ("Proposition 6.1 — termination by round t + 2",
+           lambda n, t: termination_bound.report(n=n, t=t)),
+    "e6": ("Introduction — the hear-about-0 counterexample",
+           lambda n, t: agreement_violation.report(sizes=((n, t),))),
+    "e7": ("Theorems 6.5 / 6.6 — implementation of the knowledge-based program P0",
+           lambda n, t: implementation_check.report(n=n, t=t)),
+    "e8": ("Section 8 — decision-round gap between limited exchanges and the FIP",
+           lambda n, t: fip_gap.report(n=n, t=t)),
+    "e9": ("Crash failures vs sending omissions (0-bias ablation)",
+           lambda n, t: crash_comparison.report(n=n, t=t)),
+    "e10": ("Optimality probe — one-step deviations of P_min / P_basic",
+            lambda n, t: optimality_probe.report(n=n, t=t)),
+    "e11": ("Proposition 6.4 — the Definition 6.2 safety condition",
+            lambda n, t: safety_check.report(n=n, t=t)),
+}
+
+
+def _parse_preferences(text: str, n: int) -> List[int]:
+    """Parse a comma-separated preference vector and validate its length."""
+    try:
+        values = [int(part) for part in text.split(",") if part != ""]
+    except ValueError as exc:
+        raise SystemExit(f"could not parse preferences {text!r}: {exc}")
+    if len(values) != n:
+        raise SystemExit(f"expected {n} preferences, got {len(values)}")
+    return values
+
+
+def _build_scenario(args: argparse.Namespace) -> tuple:
+    """Build the (preferences, pattern) pair from the ``run`` arguments."""
+    n, t = args.n, args.t
+    if args.scenario == "failure-free":
+        preferences = _parse_preferences(args.preferences, n) if args.preferences else [1] * n
+        return preferences, FailurePattern.failure_free(n)
+    if args.scenario == "example71":
+        return scenario_lib.example_7_1(n=n, t=t)
+    if args.scenario == "intro":
+        return scenario_lib.intro_counterexample(n=n, t=t)
+    if args.scenario == "hidden-chain":
+        return scenario_lib.hidden_chain_scenario(n, chain_length=min(t, n - 1))
+    if args.scenario == "random":
+        scenarios = scenario_lib.random_scenarios(n, t, count=1, seed=args.seed)
+        return scenarios[0]
+    # custom: preferences required, optional silent faulty agents
+    preferences = _parse_preferences(args.preferences, n) if args.preferences else [1] * n
+    if args.silent:
+        silent = [int(part) for part in args.silent.split(",") if part != ""]
+        pattern = FailurePattern.silent(n, faulty=silent, horizon=t + 3)
+    else:
+        pattern = FailurePattern.failure_free(n)
+    return preferences, pattern
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    protocol = PROTOCOLS[args.protocol](args.t)
+    preferences, pattern = _build_scenario(args)
+    trace = simulate(protocol, args.n, preferences, pattern)
+    if args.show_rounds:
+        print(render_run(trace))
+    else:
+        print(f"run of {protocol.name}, n={args.n}, t={args.t}")
+        print(f"preferences : {list(preferences)}")
+        print(f"adversary   : {pattern.describe()}")
+        print()
+        print(render_decision_timeline(trace))
+    print()
+    report = check_eba(trace, deadline=args.t + 2)
+    if report.ok:
+        print(f"EBA specification: OK (all nonfaulty decide by round {args.t + 2})")
+        return 0
+    print("EBA specification violated:")
+    for violation in report.violations():
+        print(f"  - {violation}")
+    return 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.lower()
+    if key not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; use 'repro-eba list'", file=sys.stderr)
+        return 2
+    _description, runner = EXPERIMENTS[key]
+    print(runner(args.n, args.t))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments (repro-eba experiment <id> [--n N --t T]):")
+    for key, (description, _runner) in EXPERIMENTS.items():
+        print(f"  {key:>4}  {description}")
+    print()
+    print("available protocols (repro-eba run --protocol <name>):")
+    for name in PROTOCOLS:
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-eba",
+        description="Reproduction of 'Optimal Eventual Byzantine Agreement Protocols "
+                    "with Omission Failures' (PODC 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="simulate one scenario and check EBA")
+    run_parser.add_argument("--protocol", choices=sorted(PROTOCOLS), default="min")
+    run_parser.add_argument("--n", type=int, default=6, help="number of agents")
+    run_parser.add_argument("--t", type=int, default=2, help="failure bound")
+    run_parser.add_argument("--scenario",
+                            choices=["custom", "failure-free", "example71", "intro",
+                                     "hidden-chain", "random"],
+                            default="custom")
+    run_parser.add_argument("--preferences", type=str, default="",
+                            help="comma-separated initial preferences (custom/failure-free)")
+    run_parser.add_argument("--silent", type=str, default="",
+                            help="comma-separated agents that stay silent (custom scenario)")
+    run_parser.add_argument("--seed", type=int, default=0, help="seed for --scenario random")
+    run_parser.add_argument("--show-rounds", action="store_true",
+                            help="print the full round-by-round message view")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    experiment_parser = subparsers.add_parser("experiment",
+                                              help="regenerate one of the paper's results")
+    experiment_parser.add_argument("id", help="experiment id, e.g. e3 (see 'list')")
+    experiment_parser.add_argument("--n", type=int, default=6)
+    experiment_parser.add_argument("--t", type=int, default=2)
+    experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    list_parser = subparsers.add_parser("list", help="list experiments and protocols")
+    list_parser.set_defaults(handler=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Helpers for working with sets of agents.
+
+Agents are identified by integers ``0 .. n-1``.  The paper frequently reasons
+about the set of nonfaulty agents ``N`` and its complement; this module keeps
+those small utilities in one place.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence
+
+from .errors import ConfigurationError
+from .types import AgentId
+
+
+def all_agents(n: int) -> tuple[AgentId, ...]:
+    """Return the tuple of agent identifiers ``(0, 1, ..., n-1)``."""
+    if n <= 0:
+        raise ConfigurationError(f"number of agents must be positive, got {n}")
+    return tuple(range(n))
+
+
+def validate_agent(agent: AgentId, n: int) -> AgentId:
+    """Validate that ``agent`` is a legal agent id for an ``n``-agent system."""
+    if not isinstance(agent, int) or isinstance(agent, bool):
+        raise ConfigurationError(f"agent ids must be integers, got {agent!r}")
+    if not 0 <= agent < n:
+        raise ConfigurationError(f"agent id {agent} out of range for n={n}")
+    return agent
+
+
+def validate_agent_set(agents: Iterable[AgentId], n: int) -> FrozenSet[AgentId]:
+    """Validate a collection of agent ids and return it as a frozenset."""
+    result = frozenset(agents)
+    for agent in result:
+        validate_agent(agent, n)
+    return result
+
+
+def complement(agents: Iterable[AgentId], n: int) -> FrozenSet[AgentId]:
+    """Return the agents in ``0..n-1`` that are *not* in ``agents``."""
+    present = validate_agent_set(agents, n)
+    return frozenset(range(n)) - present
+
+
+def format_agent_set(agents: Sequence[AgentId] | FrozenSet[AgentId]) -> str:
+    """Render an agent set compactly for reports (e.g. ``{0, 2, 5}``)."""
+    return "{" + ", ".join(str(a) for a in sorted(agents)) + "}"

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch library failures without masking programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a protocol, context, or failure model is mis-configured.
+
+    Examples include requesting more faulty agents than agents, or pairing an
+    action protocol with an information-exchange protocol it does not support.
+    """
+
+
+class FailureModelError(ReproError):
+    """Raised when a failure pattern violates the failure model it claims to obey.
+
+    The sending-omissions model ``SO(t)`` requires that only faulty agents omit
+    messages and that at most ``t`` agents are faulty; crash failures further
+    require omissions to be "suffix closed" per receiver set.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when an action protocol produces an illegal action.
+
+    For example, deciding twice, deciding a non-binary value, or emitting a
+    message not in the information-exchange protocol's alphabet.
+    """
+
+
+class SpecificationViolation(ReproError):
+    """Raised (optionally) when a trace violates the EBA specification.
+
+    The checkers in :mod:`repro.spec.eba` normally return a report object; this
+    exception is used by the ``require_*`` convenience wrappers.
+    """
+
+
+class ModelCheckingError(ReproError):
+    """Raised when an epistemic formula cannot be evaluated on a system.
+
+    Typical causes: referring to an agent outside the system, or evaluating a
+    temporal operator past the system horizon.
+    """

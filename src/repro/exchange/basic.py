@@ -1,0 +1,73 @@
+"""The basic information-exchange protocol ``E_basic`` of Section 6.
+
+``E_basic`` extends ``E_min`` with a heartbeat: an *undecided* agent whose
+initial preference is 1 sends the message ``(init, 1)`` to every agent each
+round.  The local state gains one component, ``count_ones`` (written ``#1_i``
+in the paper), which records how many ``(init, 1)`` messages arrived in the
+last round — but only while the agent is undecided and did not also receive a
+decide notification; otherwise it is reset to 0.
+
+* Message alphabet: ``M_i = {0, 1, (init, 1)}`` with ``M0 = {0}``, ``M1 = {1}``,
+  ``M2 = {(init, 1), ⊥}``.
+* ``μ_ij(s, a)``: the decided value when deciding; ``(init, 1)`` when the state
+  has the form ``⟨m, 1, ⊥, ⊥, k⟩`` and the action is ``noop``; ``⊥`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.types import Action, AgentId, Value, validate_value
+from .base import InformationExchange, LocalState
+from .messages import DecideNotification, InitOneHeartbeat, Message
+
+
+@dataclass(frozen=True)
+class BasicLocalState(LocalState):
+    """``E_basic`` local state: the EBA-context core plus the ``#1`` counter."""
+
+    count_ones: int = 0
+
+
+class BasicExchange(InformationExchange):
+    """The exchange ``E_basic(n)``: decide notifications plus ``(init, 1)`` heartbeats."""
+
+    name = "E_basic"
+
+    def initial_state(self, agent: AgentId, init: Value) -> BasicLocalState:
+        validate_value(init)
+        return BasicLocalState(agent=agent, n=self.n, time=0, init=init,
+                               decided=None, jd=None, count_ones=0)
+
+    def messages_for(self, state: BasicLocalState, action: Action) -> Tuple[Message, ...]:
+        message: Message
+        if action.is_decision:
+            message = DecideNotification(action.value)
+        elif state.init == 1 and state.decided is None and state.jd is None:
+            # The paper's condition: the state has the form ⟨m, 1, ⊥, ⊥, k⟩.
+            message = InitOneHeartbeat()
+        else:
+            message = None
+        return tuple(message for _ in range(self.n))
+
+    def update(self, state: BasicLocalState, action: Action,
+               received: Sequence[Message]) -> BasicLocalState:
+        decided = self.next_decided(state, action)
+        jd = self.observed_just_decided(received)
+        saw_decide_notification = any(isinstance(m, DecideNotification) for m in received)
+        if decided is None and not saw_decide_notification:
+            count_ones = sum(1 for m in received if isinstance(m, InitOneHeartbeat))
+        else:
+            # Once a decision is made (or a decide notification arrives), the
+            # counter is ignored; the paper resets it to 0 for technical reasons.
+            count_ones = 0
+        return BasicLocalState(
+            agent=state.agent,
+            n=state.n,
+            time=state.time + 1,
+            init=state.init,
+            decided=decided,
+            jd=jd,
+            count_ones=count_ones,
+        )

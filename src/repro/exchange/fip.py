@@ -1,0 +1,76 @@
+"""The full-information exchange ``E_fip`` of Section 7 (Appendix A.2.7).
+
+Every round, every agent sends its entire communication graph to every agent
+(including itself).  The local state is ``⟨time, decided, init, G_{i,time}⟩``.
+
+Note (following the paper's "slightly nonstandard" full-information context):
+the message sent does not depend on the action being performed — recipients can
+infer decisions from the graph itself, because the full-information protocol
+lets them recompute every other agent's decisions from the states they have
+heard about.  We do keep the ``decided`` flag in the local state for protocol
+bookkeeping; the paper drops it to make corresponding runs literally identical,
+a property we do not rely on (corresponding runs are paired explicitly by
+initial state and failure pattern in :mod:`repro.simulation.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.types import Action, AgentId, Value, validate_value
+from .base import InformationExchange, LocalState
+from .commgraph import CommGraph
+from .messages import GraphMessage, Message
+
+
+@dataclass(frozen=True)
+class FipLocalState(LocalState):
+    """Full-information local state: the EBA-context core plus the communication graph."""
+
+    graph: CommGraph = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.graph is None:
+            raise ValueError("a full-information local state requires a communication graph")
+
+
+class FullInformationExchange(InformationExchange):
+    """The exchange ``E_fip(n)``: communication graphs broadcast every round."""
+
+    name = "E_fip"
+
+    def initial_state(self, agent: AgentId, init: Value) -> FipLocalState:
+        validate_value(init)
+        return FipLocalState(
+            agent=agent,
+            n=self.n,
+            time=0,
+            init=init,
+            decided=None,
+            jd=None,
+            graph=CommGraph.initial(self.n, agent, init),
+        )
+
+    def messages_for(self, state: FipLocalState, action: Action) -> Tuple[Message, ...]:
+        message = GraphMessage(state.graph)
+        return tuple(message for _ in range(self.n))
+
+    def update(self, state: FipLocalState, action: Action,
+               received: Sequence[Message]) -> FipLocalState:
+        received_graphs: list[Optional[CommGraph]] = []
+        for message in received:
+            if isinstance(message, GraphMessage):
+                received_graphs.append(message.graph)
+            else:
+                received_graphs.append(None)
+        new_graph = state.graph.advance(state.agent, received_graphs)
+        return FipLocalState(
+            agent=state.agent,
+            n=state.n,
+            time=state.time + 1,
+            init=state.init,
+            decided=self.next_decided(state, action),
+            jd=self.observed_just_decided(received),
+            graph=new_graph,
+        )

@@ -1,0 +1,43 @@
+"""The minimal information-exchange protocol ``E_min`` of Section 6.
+
+Agents keep only the mandatory EBA-context state ``⟨time, init, decided, jd⟩``
+and stay silent except in the round in which they decide, when they send the
+decided value (a single bit) to every agent.
+
+* Message alphabet: ``M_i = {0, 1}`` with ``M0 = {0}``, ``M1 = {1}``, ``M2 = {⊥}``.
+* ``μ_ij(s, a) = v`` if ``a = decide_i(v)`` and ``⊥`` otherwise.
+* ``δ_i`` maintains ``time``, ``decided``, and ``jd`` as in every EBA context.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.types import Action, AgentId, Value, validate_value
+from .base import InformationExchange, LocalState
+from .messages import Message
+
+
+class MinimalExchange(InformationExchange):
+    """The exchange ``E_min(n)``: decide notifications only."""
+
+    name = "E_min"
+
+    def initial_state(self, agent: AgentId, init: Value) -> LocalState:
+        validate_value(init)
+        return LocalState(agent=agent, n=self.n, time=0, init=init, decided=None, jd=None)
+
+    def messages_for(self, state: LocalState, action: Action) -> Tuple[Message, ...]:
+        message = self.decide_message(action)
+        return tuple(message for _ in range(self.n))
+
+    def update(self, state: LocalState, action: Action,
+               received: Sequence[Message]) -> LocalState:
+        return LocalState(
+            agent=state.agent,
+            n=state.n,
+            time=state.time + 1,
+            init=state.init,
+            decided=self.next_decided(state, action),
+            jd=self.observed_just_decided(received),
+        )

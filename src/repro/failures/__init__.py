@@ -1,0 +1,27 @@
+"""Failure patterns, failure models, and adversary constructions."""
+
+from .pattern import FailurePattern, Omission
+from .models import CrashModel, FailureFreeModel, FailureModel, SendingOmissionModel
+from .adversaries import (
+    crash_staircase_adversary,
+    hidden_chain_adversary,
+    intro_counterexample_adversary,
+    iter_faulty_sets,
+    random_omission_adversaries,
+    silent_adversary,
+)
+
+__all__ = [
+    "CrashModel",
+    "FailureFreeModel",
+    "FailureModel",
+    "FailurePattern",
+    "Omission",
+    "SendingOmissionModel",
+    "crash_staircase_adversary",
+    "hidden_chain_adversary",
+    "intro_counterexample_adversary",
+    "iter_faulty_sets",
+    "random_omission_adversaries",
+    "silent_adversary",
+]

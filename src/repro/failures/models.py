@@ -1,0 +1,301 @@
+"""Failure models: families of admissible failure patterns.
+
+A *failure model* (Section 3) is a set of failure patterns, typically
+parameterised by an upper bound ``t`` on the number of faulty agents.  This
+module provides the models used by the paper:
+
+* :class:`SendingOmissionModel` — the model ``SO(t)``: at most ``t`` faulty
+  agents, and only faulty agents may omit to send messages.
+* :class:`CrashModel` — the crash-failure special case, where once an agent
+  omits a message to some agent it omits all later messages to everyone.
+* :class:`FailureFreeModel` — no failures at all (used by the Section 8
+  cost analysis, which focuses on failure-free runs).
+
+Each model can validate a pattern, generate random members, and (for small
+systems) enumerate every pattern up to a bounded horizon — the latter is what
+the epistemic model checker uses to build full interpreted systems.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError, FailureModelError
+from ..core.types import AgentId
+from .pattern import FailurePattern
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Base class for failure models.
+
+    Attributes
+    ----------
+    n:
+        Number of agents.
+    t:
+        Maximum number of faulty agents allowed by the model.
+    """
+
+    n: int
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(f"number of agents must be positive, got {self.n}")
+        if not 0 <= self.t < self.n:
+            raise ConfigurationError(
+                f"the bound t on faulty agents must satisfy 0 <= t < n, got t={self.t}, n={self.n}"
+            )
+
+    # -- interface ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """A short name for reports (e.g. ``SO(2)``)."""
+        return f"{type(self).__name__}({self.t})"
+
+    def admits(self, pattern: FailurePattern) -> bool:
+        """Whether ``pattern`` belongs to this failure model."""
+        try:
+            self.validate(pattern)
+        except FailureModelError:
+            return False
+        return True
+
+    def validate(self, pattern: FailurePattern) -> FailurePattern:
+        """Validate ``pattern`` against the model, raising :class:`FailureModelError` if illegal."""
+        if pattern.n != self.n:
+            raise FailureModelError(
+                f"pattern is for {pattern.n} agents but the model expects {self.n}"
+            )
+        if pattern.num_faulty > self.t:
+            raise FailureModelError(
+                f"pattern has {pattern.num_faulty} faulty agents but the model allows at most {self.t}"
+            )
+        return pattern
+
+    # -- generation -----------------------------------------------------------------
+
+    def failure_free(self) -> FailurePattern:
+        """The failure-free pattern (a member of every model)."""
+        return FailurePattern.failure_free(self.n)
+
+    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+        """Draw a random pattern admissible under this model (subclass responsibility)."""
+        raise NotImplementedError
+
+    def enumerate(self, horizon: int) -> Iterator[FailurePattern]:
+        """Enumerate every admissible pattern up to ``horizon`` rounds (subclass responsibility).
+
+        Warning: the number of patterns is exponential in ``n * horizon``; this
+        is intended for the small systems used by the epistemic model checker.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SendingOmissionModel(FailureModel):
+    """The sending-omissions model ``SO(t)`` of Section 3."""
+
+    @property
+    def name(self) -> str:
+        return f"SO({self.t})"
+
+    def sample(self, rng: random.Random, horizon: int,
+               omission_probability: float = 0.5,
+               num_faulty: Optional[int] = None) -> FailurePattern:
+        """Draw a random ``SO(t)`` pattern.
+
+        Parameters
+        ----------
+        rng:
+            Source of randomness (callers own the seed for reproducibility).
+        horizon:
+            Rounds ``0 .. horizon - 1`` may contain omissions.
+        omission_probability:
+            Per (round, faulty sender, receiver) probability of dropping the message.
+        num_faulty:
+            Exact number of faulty agents; defaults to a uniform draw in ``0..t``.
+        """
+        if num_faulty is None:
+            num_faulty = rng.randint(0, self.t)
+        if not 0 <= num_faulty <= self.t:
+            raise ConfigurationError(f"num_faulty={num_faulty} outside 0..{self.t}")
+        faulty = frozenset(rng.sample(range(self.n), num_faulty))
+        omissions = set()
+        for agent in faulty:
+            for round_index in range(horizon):
+                for receiver in range(self.n):
+                    if receiver == agent:
+                        continue
+                    if rng.random() < omission_probability:
+                        omissions.add((round_index, agent, receiver))
+        return FailurePattern(n=self.n, faulty=faulty, omissions=frozenset(omissions))
+
+    def enumerate(self, horizon: int, max_faulty: Optional[int] = None) -> Iterator[FailurePattern]:
+        """Enumerate all ``SO(t)`` patterns with omissions confined to ``0 .. horizon - 1``.
+
+        The enumeration ranges over every faulty set of size at most
+        ``min(t, max_faulty)`` and, for each faulty agent, every subset of
+        (round, receiver) pairs to block.  Self-omissions are not enumerated
+        (they are unobservable and only blow up the state space).
+        """
+        bound = self.t if max_faulty is None else min(self.t, max_faulty)
+        for size in range(bound + 1):
+            for faulty in itertools.combinations(range(self.n), size):
+                faulty_set = frozenset(faulty)
+                slots: List[tuple[int, AgentId, AgentId]] = [
+                    (round_index, sender, receiver)
+                    for sender in faulty
+                    for round_index in range(horizon)
+                    for receiver in range(self.n)
+                    if receiver != sender
+                ]
+                for blocked_mask in itertools.product((False, True), repeat=len(slots)):
+                    omissions = frozenset(
+                        slot for slot, blocked in zip(slots, blocked_mask) if blocked
+                    )
+                    yield FailurePattern(n=self.n, faulty=faulty_set, omissions=omissions)
+
+    def count_patterns(self, horizon: int, max_faulty: Optional[int] = None) -> int:
+        """The number of patterns :meth:`enumerate` would yield (without generating them)."""
+        bound = self.t if max_faulty is None else min(self.t, max_faulty)
+        total = 0
+        for size in range(bound + 1):
+            slots_per_set = size * horizon * (self.n - 1)
+            num_sets = _binomial(self.n, size)
+            total += num_sets * (2 ** slots_per_set)
+        return total
+
+
+@dataclass(frozen=True)
+class CrashModel(FailureModel):
+    """The crash-failure model: a faulty agent may crash mid-round and never recover.
+
+    The paper treats crash failures as the special case of ``SO(t)`` where
+    ``F(m, i, j) = 0`` implies ``F(m', i, j') = 0`` for all ``m' > m`` and all
+    receivers ``j'``.  We model a crash as a pair (crash round, subset of
+    receivers reached in the crash round): the agent sends normally before the
+    crash round, reaches only the given subset during it, and sends nothing
+    afterwards.
+    """
+
+    @property
+    def name(self) -> str:
+        return f"Crash({self.t})"
+
+    def validate(self, pattern: FailurePattern) -> FailurePattern:
+        super().validate(pattern)
+        # Only the rounds the pattern explicitly describes are checked: a crash
+        # pattern generated up to some horizon is silent about later rounds.
+        horizon = pattern.max_round() + 1
+        for agent in pattern.faulty:
+            crashed = False
+            for round_index in range(horizon):
+                blocked = pattern.blocked_receivers(round_index, agent)
+                others = frozenset(range(self.n)) - {agent}
+                if crashed and blocked & others != others:
+                    raise FailureModelError(
+                        f"agent {agent} resumes sending after a crash at round {round_index}"
+                    )
+                if blocked & others == others:
+                    crashed = True
+        return pattern
+
+    def crash_pattern(self, crashes: dict[AgentId, tuple[int, Iterable[AgentId]]],
+                      horizon: int) -> FailurePattern:
+        """Build a crash pattern.
+
+        Parameters
+        ----------
+        crashes:
+            Maps a crashing agent to ``(crash_round, receivers_reached)`` — the
+            agent's round-``crash_round`` message reaches only the listed
+            receivers, and nothing is sent in later rounds.
+        horizon:
+            Rounds are generated up to (but excluding) this index.
+        """
+        if len(crashes) > self.t:
+            raise FailureModelError(f"{len(crashes)} crashes exceed the bound t={self.t}")
+        omissions = set()
+        for agent, (crash_round, reached) in crashes.items():
+            reached_set = frozenset(reached)
+            for receiver in range(self.n):
+                if receiver == agent:
+                    continue
+                if receiver not in reached_set:
+                    omissions.add((crash_round, agent, receiver))
+            for round_index in range(crash_round + 1, horizon):
+                for receiver in range(self.n):
+                    if receiver != agent:
+                        omissions.add((round_index, agent, receiver))
+        return FailurePattern(n=self.n, faulty=frozenset(crashes), omissions=frozenset(omissions))
+
+    def sample(self, rng: random.Random, horizon: int,
+               num_faulty: Optional[int] = None) -> FailurePattern:
+        """Draw a random crash pattern: each faulty agent crashes at a random round."""
+        if num_faulty is None:
+            num_faulty = rng.randint(0, self.t)
+        faulty = rng.sample(range(self.n), num_faulty)
+        crashes = {}
+        for agent in faulty:
+            crash_round = rng.randint(0, max(horizon - 1, 0))
+            receivers = [r for r in range(self.n) if r != agent and rng.random() < 0.5]
+            crashes[agent] = (crash_round, receivers)
+        return self.crash_pattern(crashes, horizon)
+
+    def enumerate(self, horizon: int, max_faulty: Optional[int] = None) -> Iterator[FailurePattern]:
+        """Enumerate crash patterns: each faulty agent picks a crash round and reached subset."""
+        bound = self.t if max_faulty is None else min(self.t, max_faulty)
+        for size in range(bound + 1):
+            for faulty in itertools.combinations(range(self.n), size):
+                per_agent_choices = []
+                for agent in faulty:
+                    others = [r for r in range(self.n) if r != agent]
+                    choices = []
+                    for crash_round in range(horizon):
+                        for k in range(len(others) + 1):
+                            for reached in itertools.combinations(others, k):
+                                choices.append((crash_round, reached))
+                    # also "never crashes visibly" (faulty but well-behaved)
+                    choices.append((horizon, tuple(others)))
+                    per_agent_choices.append(choices)
+                for combo in itertools.product(*per_agent_choices):
+                    crashes = {agent: choice for agent, choice in zip(faulty, combo)}
+                    yield self.crash_pattern(crashes, horizon)
+
+
+@dataclass(frozen=True)
+class FailureFreeModel(FailureModel):
+    """A degenerate model containing only the failure-free pattern."""
+
+    def __init__(self, n: int) -> None:  # noqa: D401 - thin constructor
+        super().__init__(n=n, t=0)
+
+    @property
+    def name(self) -> str:
+        return "FailureFree"
+
+    def validate(self, pattern: FailurePattern) -> FailurePattern:
+        super().validate(pattern)
+        if pattern.omissions or pattern.faulty:
+            raise FailureModelError("failure-free model admits only the empty pattern")
+        return pattern
+
+    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+        return self.failure_free()
+
+    def enumerate(self, horizon: int) -> Iterator[FailurePattern]:
+        yield self.failure_free()
+
+
+def _binomial(n: int, k: int) -> int:
+    """Binomial coefficient ``n choose k`` (small helper to avoid a math import cycle)."""
+    result = 1
+    for i in range(k):
+        result = result * (n - i) // (i + 1)
+    return result

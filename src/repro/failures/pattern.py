@@ -1,0 +1,250 @@
+"""Failure patterns (adversaries) for synchronous message-passing systems.
+
+Section 3 of the paper defines a *failure pattern* as a pair ``(N, F)`` where
+``N`` is the set of nonfaulty agents and ``F(m, i, j)`` states whether the
+message sent by agent ``i`` to agent ``j`` in round ``m + 1`` is delivered.
+
+A failure pattern here is represented *extensionally* by the set of blocked
+(sender, receiver, round) triples, together with the set of faulty agents.
+This keeps patterns hashable, comparable, and easy to enumerate/mutate when
+constructing the adversarial runs used by the optimality arguments.
+
+Round/time convention
+---------------------
+We follow the paper: the global state at time ``m`` evolves to time ``m + 1``
+through *round* ``m + 1``.  A blocked triple ``(m, i, j)`` means the message
+sent by ``i`` to ``j`` in round ``m + 1`` (i.e. during the transition from time
+``m`` to time ``m + 1``) is replaced by ``⊥``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from ..core.agents import all_agents, complement, validate_agent_set
+from ..core.errors import ConfigurationError, FailureModelError
+from ..core.types import AgentId
+
+#: A blocked-message triple ``(round_index, sender, receiver)``; ``round_index``
+#: is the *time* at which the round starts (round ``round_index + 1`` in the
+#: paper's 1-based round numbering).
+Omission = Tuple[int, AgentId, AgentId]
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """A concrete adversary: which agents are faulty and which messages are lost.
+
+    Attributes
+    ----------
+    n:
+        The number of agents in the system.
+    faulty:
+        The set of faulty agents (``Agt - N`` in the paper).
+    omissions:
+        The set of blocked ``(round_index, sender, receiver)`` triples.  Only
+        messages from faulty senders may appear here (sending-omission model);
+        this is validated on construction.
+    """
+
+    n: int
+    faulty: FrozenSet[AgentId] = frozenset()
+    omissions: FrozenSet[Omission] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(f"number of agents must be positive, got {self.n}")
+        object.__setattr__(self, "faulty", validate_agent_set(self.faulty, self.n))
+        omissions = frozenset(self.omissions)
+        for (round_index, sender, receiver) in omissions:
+            if round_index < 0:
+                raise FailureModelError(f"negative round index in omission {(round_index, sender, receiver)}")
+            if not (0 <= sender < self.n and 0 <= receiver < self.n):
+                raise FailureModelError(
+                    f"omission {(round_index, sender, receiver)} refers to agents outside 0..{self.n - 1}"
+                )
+            if sender not in self.faulty:
+                raise FailureModelError(
+                    f"omission {(round_index, sender, receiver)}: sender {sender} is not faulty; "
+                    "only faulty agents may omit messages in the sending-omissions model"
+                )
+        object.__setattr__(self, "omissions", omissions)
+
+    # ------------------------------------------------------------------ basic queries
+
+    @property
+    def nonfaulty(self) -> FrozenSet[AgentId]:
+        """The set ``N`` of nonfaulty agents."""
+        return complement(self.faulty, self.n)
+
+    @property
+    def num_faulty(self) -> int:
+        """The number of faulty agents ``|Agt - N|``."""
+        return len(self.faulty)
+
+    def is_faulty(self, agent: AgentId) -> bool:
+        """Whether ``agent`` is faulty under this pattern."""
+        return agent in self.faulty
+
+    def delivered(self, round_index: int, sender: AgentId, receiver: AgentId) -> bool:
+        """Whether the message from ``sender`` to ``receiver`` in round ``round_index + 1`` arrives.
+
+        This is the function ``F`` of the paper with ``F(m, i, j) = 1`` meaning
+        delivery.  Messages from nonfaulty agents are always delivered.
+        """
+        return (round_index, sender, receiver) not in self.omissions
+
+    def blocked_receivers(self, round_index: int, sender: AgentId) -> FrozenSet[AgentId]:
+        """The set of receivers that do *not* get ``sender``'s round message."""
+        return frozenset(
+            receiver
+            for (m, s, receiver) in self.omissions
+            if m == round_index and s == sender
+        )
+
+    def exhibits_faulty_behaviour(self, agent: AgentId, horizon: Optional[int] = None) -> bool:
+        """Whether ``agent`` actually omits a message to *another* agent.
+
+        The optimality proofs of Section 7 rely on faulty agents that "act
+        nonfaulty" — they are charged to the failure pattern's faulty set but
+        never visibly omit a message (omissions to themselves are allowed and
+        invisible).  ``horizon``, if given, restricts attention to rounds
+        ``0 .. horizon - 1``.
+        """
+        for (round_index, sender, receiver) in self.omissions:
+            if sender != agent or receiver == agent:
+                continue
+            if horizon is not None and round_index >= horizon:
+                continue
+            return True
+        return False
+
+    def silent_senders(self, round_index: int) -> FrozenSet[AgentId]:
+        """Agents whose messages to *all other* agents are blocked in the given round."""
+        silent = []
+        for agent in self.faulty:
+            others = set(range(self.n)) - {agent}
+            if others <= set(self.blocked_receivers(round_index, agent)):
+                silent.append(agent)
+        return frozenset(silent)
+
+    def max_round(self) -> int:
+        """The largest round index mentioned by an omission (``-1`` if none)."""
+        return max((m for (m, _, _) in self.omissions), default=-1)
+
+    # ------------------------------------------------------------------ constructors
+
+    @classmethod
+    def failure_free(cls, n: int) -> "FailurePattern":
+        """The unique failure-free pattern for ``n`` agents."""
+        return cls(n=n)
+
+    @classmethod
+    def silent(cls, n: int, faulty: Iterable[AgentId], horizon: int,
+               from_round: int = 0, include_self: bool = False) -> "FailurePattern":
+        """A pattern where every agent in ``faulty`` sends no messages at all.
+
+        Parameters
+        ----------
+        n:
+            Number of agents.
+        faulty:
+            The agents that stay silent (and are marked faulty).
+        horizon:
+            Omissions are generated for rounds ``from_round .. horizon - 1``.
+        from_round:
+            First round index (time) at which the agents fall silent.
+        include_self:
+            Whether to also block the agent's message to itself.
+        """
+        faulty_set = frozenset(faulty)
+        omissions = set()
+        for agent in faulty_set:
+            for round_index in range(from_round, horizon):
+                for receiver in range(n):
+                    if receiver == agent and not include_self:
+                        continue
+                    omissions.add((round_index, agent, receiver))
+        return cls(n=n, faulty=faulty_set, omissions=frozenset(omissions))
+
+    @classmethod
+    def from_blocked(cls, n: int, blocked: Iterable[Omission],
+                     extra_faulty: Iterable[AgentId] = ()) -> "FailurePattern":
+        """Build a pattern from explicit blocked triples.
+
+        The faulty set is inferred as the set of senders appearing in
+        ``blocked`` plus any ``extra_faulty`` agents (which are faulty but do
+        not visibly misbehave).
+        """
+        blocked_set = frozenset(blocked)
+        faulty = frozenset(s for (_, s, _) in blocked_set) | frozenset(extra_faulty)
+        return cls(n=n, faulty=faulty, omissions=blocked_set)
+
+    # ------------------------------------------------------------------ transformations
+
+    def with_omission(self, round_index: int, sender: AgentId, receiver: AgentId) -> "FailurePattern":
+        """Return a copy with one extra blocked message (sender must already be faulty)."""
+        return FailurePattern(
+            n=self.n,
+            faulty=self.faulty | {sender},
+            omissions=self.omissions | {(round_index, sender, receiver)},
+        )
+
+    def without_omission(self, round_index: int, sender: AgentId, receiver: AgentId) -> "FailurePattern":
+        """Return a copy with one blocked message removed (the sender stays faulty)."""
+        return FailurePattern(
+            n=self.n,
+            faulty=self.faulty,
+            omissions=self.omissions - {(round_index, sender, receiver)},
+        )
+
+    def with_faulty(self, *agents: AgentId) -> "FailurePattern":
+        """Return a copy where ``agents`` are additionally marked faulty."""
+        return FailurePattern(n=self.n, faulty=self.faulty | set(agents), omissions=self.omissions)
+
+    def swap_roles(self, a: AgentId, b: AgentId) -> "FailurePattern":
+        """Interchange the failure roles of two agents.
+
+        This is the "interchange the failures of ``i`` and ``i'``" operation
+        used repeatedly in the optimality proofs (Proposition 6.4, Section 7):
+        every omission by ``a`` becomes an omission by ``b`` and vice versa, and
+        membership of ``a`` / ``b`` in the faulty set is swapped.
+        """
+
+        def swap(agent: AgentId) -> AgentId:
+            if agent == a:
+                return b
+            if agent == b:
+                return a
+            return agent
+
+        new_faulty = frozenset(swap(agent) for agent in self.faulty)
+        new_omissions = frozenset(
+            (m, swap(sender), receiver) for (m, sender, receiver) in self.omissions
+        )
+        return FailurePattern(n=self.n, faulty=new_faulty, omissions=new_omissions)
+
+    def restrict_to(self, horizon: int) -> "FailurePattern":
+        """Drop omissions at or beyond ``horizon`` (useful for display and hashing)."""
+        return FailurePattern(
+            n=self.n,
+            faulty=self.faulty,
+            omissions=frozenset(o for o in self.omissions if o[0] < horizon),
+        )
+
+    # ------------------------------------------------------------------ misc
+
+    def describe(self) -> str:
+        """A short human-readable description of the pattern."""
+        if not self.faulty:
+            return f"failure-free ({self.n} agents)"
+        parts = [f"faulty={sorted(self.faulty)}"]
+        if self.omissions:
+            parts.append(f"{len(self.omissions)} blocked messages")
+        else:
+            parts.append("no visible omissions")
+        return ", ".join(parts)
+
+    def __iter__(self) -> Iterator[Omission]:
+        return iter(sorted(self.omissions))

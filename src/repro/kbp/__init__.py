@@ -1,0 +1,25 @@
+"""Knowledge-based programs ``P0`` and ``P1`` and implementation checking."""
+
+from .implementation import (
+    ImplementationReport,
+    Mismatch,
+    TableProtocol,
+    check_implements,
+    derive_implementation,
+    programs_equivalent,
+)
+from .programs import GuardedClause, KnowledgeBasedProgram, LocalProgram, make_p0, make_p1
+
+__all__ = [
+    "GuardedClause",
+    "ImplementationReport",
+    "KnowledgeBasedProgram",
+    "LocalProgram",
+    "Mismatch",
+    "TableProtocol",
+    "check_implements",
+    "derive_implementation",
+    "make_p0",
+    "make_p1",
+    "programs_equivalent",
+]

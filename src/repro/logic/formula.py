@@ -1,0 +1,299 @@
+"""Formula AST for the epistemic temporal language of Section 2.
+
+The language is built from primitive propositions about the EBA system
+(``init_i = v``, ``decided_i = v``, ``time_i = k``, ``i ∈ N``), closed under
+the propositional connectives, the epistemic operators ``K_i`` and ``C_S``
+(common knowledge among an indexical set ``S``), and the temporal operators
+``next`` (⃝), ``previous`` (⊖), ``always in the future`` (□) and ``always``
+(⊡).  The paper's derived notions are provided as constructors:
+
+* ``jdecided_i = v``  ≡  ``decided_i = v ∧ ⊖(decided_i = ⊥)``
+* ``deciding_i = v``  ≡  ``decided_i = ⊥ ∧ ⃝(decided_i = v)``
+* ``∃v``              ≡  ``⋁_i init_i = v``
+* ``t-faulty ∧ φ``    ≡  ``⋁_{A ⊆ Agt, |A| = t} C_N(⋀_{i ∈ A} i ∉ N ∧ φ)``
+  (the abbreviation used for the common-knowledge tests of ``P1``).
+
+Formulas are immutable value objects; evaluation lives in
+:mod:`repro.logic.semantics`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple, Union
+
+from ..core.types import AgentId, Value
+
+#: The indexical group "the nonfaulty agents" used by ``E_S`` / ``C_S``.
+NONFAULTY = "N"
+
+#: A group is either a concrete set of agents or the indexical nonfaulty set.
+Group = Union[FrozenSet[AgentId], str]
+
+
+class Formula:
+    """Base class for formulas.  Provides operator sugar (``&``, ``|``, ``~``)."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """Material implication ``self ⇒ other``."""
+        return Or((Not(self), other))
+
+
+# --------------------------------------------------------------------------- atoms
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The constant ``true``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class InitEquals(Formula):
+    """``init_agent = value``."""
+
+    agent: AgentId
+    value: Value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"init_{self.agent}={self.value}"
+
+
+@dataclass(frozen=True)
+class DecidedEquals(Formula):
+    """``decided_agent = value`` where ``value`` may be ``None`` for ``⊥``."""
+
+    agent: AgentId
+    value: Optional[Value]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rendered = "⊥" if self.value is None else self.value
+        return f"decided_{self.agent}={rendered}"
+
+
+@dataclass(frozen=True)
+class TimeEquals(Formula):
+    """``time = k`` (the systems we build are synchronous, so time is global)."""
+
+    time: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"time={self.time}"
+
+
+@dataclass(frozen=True)
+class IsNonfaulty(Formula):
+    """``agent ∈ N``."""
+
+    agent: AgentId
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.agent}∈N"
+
+
+# --------------------------------------------------------------------------- connectives
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"¬({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Finite conjunction (empty conjunction is ``true``)."""
+
+    operands: Tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " ∧ ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Finite disjunction (empty disjunction is ``false``)."""
+
+    operands: Tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " ∨ ".join(repr(op) for op in self.operands) + ")"
+
+
+# --------------------------------------------------------------------------- epistemic operators
+
+
+@dataclass(frozen=True)
+class Knows(Formula):
+    """``K_agent φ``: the formula holds at every point the agent cannot distinguish."""
+
+    agent: AgentId
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"K_{self.agent}({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class EveryoneKnows(Formula):
+    """``E_S φ`` for a (possibly indexical) group ``S``."""
+
+    group: Group
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"E_{self.group}({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class CommonKnowledge(Formula):
+    """``C_S φ`` for a (possibly indexical) group ``S``."""
+
+    group: Group
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"C_{self.group}({self.operand!r})"
+
+
+# --------------------------------------------------------------------------- temporal operators
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """``⃝ φ``: φ holds at the next time."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⃝({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Previous(Formula):
+    """``⊖ φ``: the time is positive and φ held at the previous time."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⊖({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class AlwaysFuture(Formula):
+    """``□ φ``: φ holds now and at all future times (within the system horizon)."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"□({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """``⊡ φ``: φ holds at all times of the run (within the system horizon)."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⊡({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """``◇ φ``: φ holds now or at some future time (within the system horizon)."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"◇({self.operand!r})"
+
+
+# --------------------------------------------------------------------------- derived constructors
+
+#: Convenient constant instances.
+TRUE = TrueFormula()
+FALSE = Not(TRUE)
+
+
+def decided(agent: AgentId) -> Formula:
+    """``decided_agent``: the agent has decided some value."""
+    return Or((DecidedEquals(agent, 0), DecidedEquals(agent, 1)))
+
+
+def undecided(agent: AgentId) -> Formula:
+    """``decided_agent = ⊥``."""
+    return DecidedEquals(agent, None)
+
+
+def just_decided(agent: AgentId, value: Value) -> Formula:
+    """``jdecided_agent = value``: the agent decided ``value`` in the round that just ended."""
+    return And((DecidedEquals(agent, value), Previous(DecidedEquals(agent, None))))
+
+
+def deciding(agent: AgentId, value: Value) -> Formula:
+    """``deciding_agent = value``: the agent decides ``value`` in the current round."""
+    return And((DecidedEquals(agent, None), Next(DecidedEquals(agent, value))))
+
+
+def exists_value(n: int, value: Value) -> Formula:
+    """``∃value``: some agent has initial preference ``value``."""
+    return Or(tuple(InitEquals(agent, value) for agent in range(n)))
+
+
+def someone_just_decided(n: int, value: Value) -> Formula:
+    """``⋁_j jdecided_j = value``."""
+    return Or(tuple(just_decided(agent, value) for agent in range(n)))
+
+
+def nobody_deciding(n: int, value: Value) -> Formula:
+    """``⋀_j ¬(deciding_j = value)``."""
+    return And(tuple(Not(deciding(agent, value)) for agent in range(n)))
+
+
+def no_nonfaulty_decided(n: int, value: Value) -> Formula:
+    """``no-decided_N(value)``: no nonfaulty agent has decided ``value``.
+
+    Encoded as ``⋀_j (j ∈ N ⇒ ¬(decided_j = value))`` so that the indexical
+    quantification over ``N`` is expressed with explicit agent indices.
+    """
+    return And(tuple(
+        IsNonfaulty(agent).implies(Not(DecidedEquals(agent, value)))
+        for agent in range(n)
+    ))
+
+
+def common_knowledge_t_faulty(n: int, t: int, side_condition: Formula) -> Formula:
+    """``C_N(t-faulty ∧ side_condition)`` in the abbreviation of Section 7.
+
+    That is ``⋁_{A ⊆ Agt, |A| = t} C_N(⋀_{i ∈ A}(i ∉ N) ∧ side_condition)``.
+    The disjunction has ``C(n, t)`` members, which is fine for the small
+    systems the model checker handles.
+    """
+    disjuncts = []
+    for subset in itertools.combinations(range(n), t):
+        faulty_conjunct = And(tuple(Not(IsNonfaulty(agent)) for agent in subset))
+        disjuncts.append(CommonKnowledge(NONFAULTY, And((faulty_conjunct, side_condition))))
+    return Or(tuple(disjuncts))

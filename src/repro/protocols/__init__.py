@@ -1,0 +1,29 @@
+"""Action protocols: ``P_min``, ``P_basic``, ``P_opt``, and baselines."""
+
+from .base import ActionProtocol
+from .baselines import DelayedMinProtocol, EagerOneProtocol, NaiveZeroBiasedProtocol
+from .pbasic import BasicProtocol
+from .pmin import MinProtocol
+from .popt import (
+    UNKNOWN,
+    DecisionOracle,
+    OptimalFipProtocol,
+    chain_condition,
+    common_condition,
+    no_hidden_chain_condition,
+)
+
+__all__ = [
+    "ActionProtocol",
+    "BasicProtocol",
+    "DecisionOracle",
+    "DelayedMinProtocol",
+    "EagerOneProtocol",
+    "MinProtocol",
+    "NaiveZeroBiasedProtocol",
+    "OptimalFipProtocol",
+    "UNKNOWN",
+    "chain_condition",
+    "common_condition",
+    "no_hidden_chain_condition",
+]

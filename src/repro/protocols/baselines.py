@@ -1,0 +1,114 @@
+"""Baseline action protocols used for comparison and for negative results.
+
+* :class:`NaiveZeroBiasedProtocol` — the protocol ruled out by the paper's
+  introduction: decide 0 as soon as you *hear about* an initial preference of
+  0 (not necessarily via a 0-chain).  Under crash failures this is a correct,
+  optimal 0-biased rule; under sending-omission failures it violates Agreement
+  (a faulty agent can reveal its 0 to a single agent at the last moment).
+* :class:`DelayedMinProtocol` — a correct but strictly dominated variant of
+  ``P_min`` that waits ``delay`` extra rounds before deciding 1.  It is the
+  sanity baseline for the dominance study: ``P_min`` strictly dominates it, and
+  nothing we implement strictly dominates ``P_min``.
+* :class:`EagerOneProtocol` — an *incorrect* protocol that decides 1 as soon as
+  it has seen only 1s; it violates Agreement whenever a 0-chain is still hidden
+  (used by negative tests for the specification checkers).
+"""
+
+from __future__ import annotations
+
+from ..core.types import Action, DECIDE_0, DECIDE_1, NOOP
+from ..exchange.base import LocalState
+from ..exchange.basic import BasicExchange, BasicLocalState
+from ..exchange.fip import FipLocalState, FullInformationExchange
+from ..exchange.minimal import MinimalExchange
+from .base import ActionProtocol
+
+
+class NaiveZeroBiasedProtocol(ActionProtocol):
+    """Decide 0 upon *learning* of a 0 (correct for crashes, broken for omissions).
+
+    Runs over the full-information exchange so that "hearing about a 0" has its
+    most permissive meaning: any initial preference of 0 visible anywhere in the
+    communication graph triggers a 0 decision.  If no 0 is heard about within
+    ``t + 1`` rounds the agent decides 1.
+    """
+
+    name = "P_naive0"
+    state_type = FipLocalState
+
+    def make_exchange(self, n: int) -> FullInformationExchange:
+        return FullInformationExchange(n)
+
+    def act(self, state: FipLocalState) -> Action:
+        self.check_state(state)
+        if state.decided is not None:
+            return NOOP
+        if 0 in state.graph.known_preferences().values():
+            return DECIDE_0
+        if state.time >= self.t + 1:
+            return DECIDE_1
+        return NOOP
+
+
+class DelayedMinProtocol(ActionProtocol):
+    """``P_min`` with the decide-1 deadline postponed by ``delay`` rounds.
+
+    Still a correct EBA protocol (waiting longer before deciding 1 never breaks
+    agreement with the 0-chain rule), but strictly dominated by ``P_min``: in
+    the all-ones failure-free run it decides at round ``t + 2 + delay`` instead
+    of ``t + 2``.
+    """
+
+    name = "P_min_delayed"
+    state_type = LocalState
+
+    def __init__(self, t: int, delay: int = 1) -> None:
+        super().__init__(t)
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+        self.name = f"P_min_delayed({delay})"
+
+    def make_exchange(self, n: int) -> MinimalExchange:
+        return MinimalExchange(n)
+
+    def act(self, state: LocalState) -> Action:
+        self.check_state(state)
+        if state.decided is not None:
+            return NOOP
+        if state.init == 0 or state.jd == 0:
+            return DECIDE_0
+        if state.time >= self.t + 1 + self.delay:
+            return DECIDE_1
+        return NOOP
+
+
+class EagerOneProtocol(ActionProtocol):
+    """An intentionally broken protocol: decide 1 after a fixed small number of rounds.
+
+    With ``patience`` rounds of silence an agent concludes (unsoundly) that
+    everyone prefers 1.  A hidden 0-chain longer than ``patience`` breaks
+    Agreement; the specification checkers must catch this.
+    """
+
+    name = "P_eager1"
+    state_type = BasicLocalState
+
+    def __init__(self, t: int, patience: int = 1) -> None:
+        super().__init__(t)
+        if patience < 1:
+            raise ValueError(f"patience must be positive, got {patience}")
+        self.patience = patience
+
+    def make_exchange(self, n: int) -> BasicExchange:
+        return BasicExchange(n)
+
+    def act(self, state: BasicLocalState) -> Action:
+        self.check_state(state)
+        if state.decided is not None:
+            return NOOP
+        if state.init == 0 or state.jd == 0:
+            return DECIDE_0
+        if state.time >= self.patience:
+            return DECIDE_1
+        return NOOP

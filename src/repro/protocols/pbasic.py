@@ -1,0 +1,43 @@
+"""``P_basic``: the action protocol for the basic information exchange (Section 6).
+
+The program (Theorem 6.6 shows it implements the knowledge-based program ``P0``
+in the context ``γ_basic`` when ``t <= n - 2``):
+
+.. code-block:: text
+
+    if decided_i != ⊥ then noop
+    else if init_i = 0 or jd_i = 0 then decide_i(0)
+    else if #1_i > n - time_i or jd_i = 1 then decide_i(1)
+    else noop
+
+The ``#1_i > n - time_i`` test is the "no hidden 0-chain" argument: a 0-chain
+that is still hidden at time ``m`` involves ``m`` distinct agents none of which
+sent an ``(init, 1)`` heartbeat in the last round, so if more than ``n - m``
+heartbeats arrived, no such chain can exist and it is safe to decide 1.
+"""
+
+from __future__ import annotations
+
+from ..core.types import Action, DECIDE_0, DECIDE_1, NOOP
+from ..exchange.basic import BasicExchange, BasicLocalState
+from .base import ActionProtocol
+
+
+class BasicProtocol(ActionProtocol):
+    """The concrete protocol ``P_basic(t)`` over ``E_basic``."""
+
+    name = "P_basic"
+    state_type = BasicLocalState
+
+    def make_exchange(self, n: int) -> BasicExchange:
+        return BasicExchange(n)
+
+    def act(self, state: BasicLocalState) -> Action:
+        self.check_state(state)
+        if state.decided is not None:
+            return NOOP
+        if state.init == 0 or state.jd == 0:
+            return DECIDE_0
+        if state.count_ones > state.n - state.time or state.jd == 1:
+            return DECIDE_1
+        return NOOP

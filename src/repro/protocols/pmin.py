@@ -1,0 +1,43 @@
+"""``P_min``: the action protocol for the minimal information exchange (Section 6).
+
+The program (Theorem 6.5 shows it implements the knowledge-based program ``P0``
+in the context ``γ_min`` when ``t <= n - 2``):
+
+.. code-block:: text
+
+    if decided_i != ⊥ then noop
+    else if init_i = 0 or jd_i = 0 then decide_i(0)
+    else if time_i = t + 1 then decide_i(1)
+    else noop
+
+Intuitively: decide 0 if you started with 0 or just heard a decide-0
+notification (a 0-chain reached you); if no 0-chain reached you within ``t + 1``
+rounds, none can be pending, so decide 1.
+"""
+
+from __future__ import annotations
+
+from ..core.types import Action, DECIDE_0, DECIDE_1, NOOP
+from ..exchange.base import LocalState
+from ..exchange.minimal import MinimalExchange
+from .base import ActionProtocol
+
+
+class MinProtocol(ActionProtocol):
+    """The concrete protocol ``P_min(t)`` over ``E_min``."""
+
+    name = "P_min"
+    state_type = LocalState
+
+    def make_exchange(self, n: int) -> MinimalExchange:
+        return MinimalExchange(n)
+
+    def act(self, state: LocalState) -> Action:
+        self.check_state(state)
+        if state.decided is not None:
+            return NOOP
+        if state.init == 0 or state.jd == 0:
+            return DECIDE_0
+        if state.time == self.t + 1:
+            return DECIDE_1
+        return NOOP

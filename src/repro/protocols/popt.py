@@ -1,0 +1,291 @@
+"""``P_opt``: the polynomial-time optimal full-information protocol (Section 7, Appendix A.2.7).
+
+``P_opt`` implements the knowledge-based program ``P1``:
+
+.. code-block:: text
+
+    if decided_i != ⊥ then noop
+    else if common0  then decide_i(0)     # K_i C_N(t-faulty ∧ no-decided_N(1) ∧ ∃0)
+    else if common1  then decide_i(1)     # K_i C_N(t-faulty ∧ no-decided_N(0) ∧ ∃1)
+    else if cond0    then decide_i(0)     # init_i = 0 ∨ K_i(∃j just decided 0)
+    else if cond1    then decide_i(1)     # K_i(no agent is deciding 0)
+    else noop
+
+All four tests are computed from the agent's communication graph alone:
+
+* ``common_v`` uses the characterization of Proposition A.2 / Lemma A.20 —
+  ``C_N(t-faulty)`` holds at time ``m`` iff the agents that might still be
+  nonfaulty had *distributed* knowledge of ``t`` faulty agents at time
+  ``m - 1`` — together with the ``no-decided`` and ``∃v`` side conditions of
+  Definition A.19.
+* ``cond0`` checks for a directly received decide-0 notification, where "what
+  agent ``j`` decided" is recomputed from ``j``'s reconstructed state (full
+  information makes every heard-from agent's actions recomputable).
+* ``cond1`` uses the counting characterization of Proposition A.7: the agent
+  knows that nobody can be deciding 0 iff for some horizon ``m''`` there are
+  not enough "stale" agents left to hide a 0-chain reaching time ``m''``.
+
+Note on the paper's Definition A.19 of ``cond1``: the text says *"if for all
+m'' ... there exist at least m'' − m' agents ... then cond1 = true"*, but that
+is the condition of Proposition A.7 for ``¬K_i(no agent is deciding 0)``, and
+Theorem A.21 uses ``cond1`` as the *positive* knowledge test, so the polarity
+in Definition A.19 is a typo.  We implement the polarity that is consistent
+with Proposition A.7 and Theorem A.21 (and with the knowledge-based program).
+
+The decisions of other agents are reconstructed by a :class:`DecisionOracle`
+that re-runs these very rules on restricted communication graphs; the oracle
+memoizes per reconstructed point, which keeps the whole computation polynomial
+in ``n`` and the number of rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import ProtocolError
+from ..core.types import Action, DECIDE_0, DECIDE_1, NOOP, AgentId, Value
+from ..exchange.commgraph import CommGraph
+from ..exchange.fip import FipLocalState, FullInformationExchange
+from .base import ActionProtocol
+
+
+class _Unknown:
+    """Sentinel for "the graph does not determine this agent's action"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNKNOWN"
+
+
+#: Returned by decision lookups for points outside the relevant hears-from cone.
+UNKNOWN = _Unknown()
+
+#: A decision lookup: ``(agent, time) -> 0 | 1 | None | UNKNOWN`` where the value
+#: is what the agent decides in round ``time + 1`` (``None`` = known not to decide).
+DecisionLookup = Callable[[AgentId, int], object]
+
+
+# --------------------------------------------------------------------------- rule tests
+
+
+def common_condition(graph: CommGraph, agent: AgentId, time: int, t: int,
+                     value: Value, decisions: DecisionLookup) -> bool:
+    """The test ``common_value``: is ``C_N(t-faulty ∧ no-decided_N(1-value) ∧ ∃value)`` known?
+
+    Parameters
+    ----------
+    graph:
+        The agent's communication graph ``G_{agent, time}``.
+    agent, time:
+        The point at which the test is evaluated.
+    t:
+        The failure bound of the context.
+    value:
+        The value the condition would decide (0 for ``common0``, 1 for ``common1``).
+    decisions:
+        Lookup for reconstructed decisions of other agents.
+    """
+    if time < 1:
+        return False
+    known_faulty = graph.known_faulty(agent, time)
+    if len(known_faulty) != t:
+        return False
+    candidates = frozenset(range(graph.n)) - known_faulty
+    distributed = graph.distributed_faulty(candidates, time - 1)
+    if len(distributed) != t:
+        return False
+    # no-decided_N(1 - value): no presumed-nonfaulty agent decided 1-value so far.
+    for j in sorted(candidates):
+        for m_prime in range(time):
+            decision = decisions(j, m_prime)
+            if decision is UNKNOWN or decision == 1 - value:
+                return False
+    # ∃ value: some agent outside the distributed-knowledge faulty set knew about
+    # an initial preference of ``value`` at time - 1.
+    witnesses = frozenset(range(graph.n)) - distributed
+    for j in sorted(witnesses):
+        if value in graph.known_values(j, time - 1):
+            return True
+    return False
+
+
+def chain_condition(graph: CommGraph, agent: AgentId, time: int, init: Value,
+                    decisions: DecisionLookup) -> bool:
+    """The test ``cond0``: ``init_i = 0``, or a decide-0 notification arrived this round."""
+    if time == 0:
+        return init == 0
+    for j in range(graph.n):
+        if graph.label(time - 1, j, agent) is True and decisions(j, time - 1) == 0:
+            return True
+    return False
+
+
+def no_hidden_chain_condition(graph: CommGraph, agent: AgentId, time: int,
+                              decisions: DecisionLookup) -> bool:
+    """The test ``cond1``: does the agent *know* that no agent can be deciding 0?
+
+    Implements the characterization of Proposition A.7: the agent does **not**
+    know this iff, for every horizon ``m''`` with ``latest0 < m'' <= time``,
+    there are at least ``m'' - latest0`` agents whose most recent state known to
+    the agent is older than ``m''`` and who were not known to have decided —
+    enough stale agents to hide an extension of the longest known 0-chain up to
+    time ``m''``.
+    """
+    if time == 0:
+        return False
+    frontier = graph.heard_frontier(agent, time)
+    latest0 = -1
+    stale_candidates: List[AgentId] = []
+    for j in range(graph.n):
+        undecided = True
+        for m_prime in range(frontier[j] + 1):
+            decision = decisions(j, m_prime)
+            if decision == 0:
+                latest0 = max(latest0, m_prime)
+            if decision in (0, 1):
+                undecided = False
+        if undecided:
+            stale_candidates.append(j)
+    for horizon in range(latest0 + 1, time + 1):
+        available = sum(1 for j in stale_candidates if frontier[j] < horizon)
+        if available < horizon - latest0:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------- decision oracle
+
+
+class DecisionOracle:
+    """Reconstructs the decisions of every agent in a communication graph's cone.
+
+    Full information makes this possible: whenever ``(j, m')`` hears-into the
+    anchor point, the anchor's graph contains ``j``'s entire local state at
+    time ``m'``, so the anchor can re-run the protocol on it.  The oracle
+    memoizes one decision per reconstructed point, so the overall cost per
+    ``act`` call is polynomial in ``n`` and the time.
+    """
+
+    def __init__(self, graph: CommGraph, anchor: AgentId, anchor_time: int, t: int,
+                 use_common_knowledge: bool = True) -> None:
+        self.graph = graph
+        self.anchor = anchor
+        self.anchor_time = anchor_time
+        self.t = t
+        self.use_common_knowledge = use_common_knowledge
+        self.frontier = graph.heard_frontier(anchor, anchor_time)
+        self._decisions: Dict[Tuple[AgentId, int], Optional[Value]] = {}
+
+    # -- public lookups ---------------------------------------------------------------
+
+    def known_decision(self, agent: AgentId, time: int) -> object:
+        """``d(agent, time, G)``: the decision taken in round ``time + 1``, if determined.
+
+        Returns 0 or 1 for a known decision, ``None`` if the agent is known not
+        to decide in that round, and :data:`UNKNOWN` if the point is outside the
+        anchor's hears-from cone.
+        """
+        if time < 0:
+            return None
+        if agent == self.anchor and time >= self.anchor_time:
+            return UNKNOWN
+        if time > self.frontier[agent]:
+            return UNKNOWN
+        key = (agent, time)
+        if key not in self._decisions:
+            self._compute_trajectory(agent, time)
+        return self._decisions[key]
+
+    def anchor_action(self, init: Value, already_decided: bool) -> Action:
+        """The action the anchor itself should take at its current point."""
+        if already_decided:
+            return NOOP
+        return self._evaluate_rules(self.graph, self.anchor, self.anchor_time, init)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _compute_trajectory(self, agent: AgentId, upto: int) -> None:
+        """Fill the memo with ``agent``'s decisions at all times ``0 .. upto``."""
+        init = self.graph.preference(agent)
+        decided: Optional[Value] = None
+        for tau in range(upto + 1):
+            key = (agent, tau)
+            if key in self._decisions:
+                if self._decisions[key] is not None:
+                    decided = self._decisions[key]
+                continue
+            if decided is not None:
+                self._decisions[key] = None
+                continue
+            if init is None:
+                # We heard about (agent, tau) only indirectly without learning its
+                # preference; this cannot happen under the full-information
+                # exchange, but degrade gracefully rather than crash.
+                self._decisions[key] = None
+                continue
+            restricted = self.graph.restrict(agent, tau)
+            action = self._evaluate_rules(restricted, agent, tau, init)
+            if action.is_decision:
+                decided = action.value
+                self._decisions[key] = action.value
+            else:
+                self._decisions[key] = None
+
+    def _evaluate_rules(self, graph: CommGraph, agent: AgentId, time: int,
+                        init: Value) -> Action:
+        """Apply the ``P1`` rules at a point whose graph is ``graph``."""
+        frontier = graph.heard_frontier(agent, time)
+
+        def decisions(other: AgentId, m_prime: int) -> object:
+            if m_prime < 0:
+                return None
+            if other == agent and m_prime >= time:
+                return UNKNOWN
+            if m_prime > frontier[other]:
+                return UNKNOWN
+            return self.known_decision(other, m_prime)
+
+        if self.use_common_knowledge:
+            if common_condition(graph, agent, time, self.t, 0, decisions):
+                return DECIDE_0
+            if common_condition(graph, agent, time, self.t, 1, decisions):
+                return DECIDE_1
+        if chain_condition(graph, agent, time, init, decisions):
+            return DECIDE_0
+        if no_hidden_chain_condition(graph, agent, time, decisions):
+            return DECIDE_1
+        return NOOP
+
+
+# --------------------------------------------------------------------------- the protocol
+
+
+class OptimalFipProtocol(ActionProtocol):
+    """``P_opt(t)``: the optimal polynomial-time EBA protocol for full information.
+
+    Setting ``use_common_knowledge=False`` disables the two common-knowledge
+    rules, leaving the ``P0`` rules only; this ablation is correct but not
+    optimal with full information (it is exactly what Example 7.1 penalizes).
+    """
+
+    name = "P_opt"
+    state_type = FipLocalState
+
+    def __init__(self, t: int, use_common_knowledge: bool = True) -> None:
+        super().__init__(t)
+        self.use_common_knowledge = use_common_knowledge
+        if not use_common_knowledge:
+            self.name = "P_fip_nock"
+
+    def make_exchange(self, n: int) -> FullInformationExchange:
+        return FullInformationExchange(n)
+
+    def act(self, state: FipLocalState) -> Action:
+        self.check_state(state)
+        if state.graph.time != state.time:
+            raise ProtocolError(
+                f"inconsistent full-information state: time={state.time} but the "
+                f"communication graph is at time {state.graph.time}"
+            )
+        oracle = DecisionOracle(state.graph, state.agent, state.time, self.t,
+                                use_common_knowledge=self.use_common_knowledge)
+        return oracle.anchor_action(state.init, already_decided=state.decided is not None)

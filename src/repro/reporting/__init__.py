@@ -1,0 +1,13 @@
+"""Plain-text reporting helpers."""
+
+from .tables import format_comparison, format_histogram, format_table
+from .trace_view import render_comm_graph, render_decision_timeline, render_run
+
+__all__ = [
+    "format_comparison",
+    "format_histogram",
+    "format_table",
+    "render_comm_graph",
+    "render_decision_timeline",
+    "render_run",
+]

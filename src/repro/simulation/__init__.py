@@ -1,0 +1,18 @@
+"""The synchronous simulation engine, run traces, and batch runners."""
+
+from .engine import simulate, step
+from .runner import BatchResult, Scenario, corresponding_runs, run_batch, run_protocol, sweep
+from .trace import RoundRecord, RunTrace
+
+__all__ = [
+    "BatchResult",
+    "RoundRecord",
+    "RunTrace",
+    "Scenario",
+    "corresponding_runs",
+    "run_batch",
+    "run_protocol",
+    "simulate",
+    "step",
+    "sweep",
+]

@@ -1,0 +1,80 @@
+"""Batch execution helpers: workloads, corresponding runs, and protocol sweeps.
+
+The paper's notion of *corresponding runs* — runs of different protocols with
+the same initial global state (same preferences, same failure pattern) — is the
+basis of the dominance/optimality comparisons.  :func:`corresponding_runs`
+executes several protocols against the same ``(preferences, pattern)`` pair so
+the analysis layer can compare decision times agent by agent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.types import PreferenceVector
+from ..failures.pattern import FailurePattern
+from ..protocols.base import ActionProtocol
+from .engine import simulate
+from .trace import RunTrace
+
+#: A workload item: one initial global state (preferences plus failure pattern).
+Scenario = Tuple[Sequence[int], FailurePattern]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The traces produced by running one protocol over a workload."""
+
+    protocol_name: str
+    traces: Tuple[RunTrace, ...]
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+
+def run_protocol(protocol: ActionProtocol, n: int, preferences: Sequence[int],
+                 pattern: Optional[FailurePattern] = None,
+                 horizon: Optional[int] = None) -> RunTrace:
+    """Simulate a single run (thin convenience wrapper over :func:`simulate`)."""
+    return simulate(protocol, n, preferences, pattern=pattern, horizon=horizon)
+
+
+def run_batch(protocol: ActionProtocol, n: int, scenarios: Iterable[Scenario],
+              horizon: Optional[int] = None) -> BatchResult:
+    """Run one protocol over every scenario in a workload."""
+    traces = tuple(
+        simulate(protocol, n, preferences, pattern=pattern, horizon=horizon)
+        for preferences, pattern in scenarios
+    )
+    return BatchResult(protocol_name=protocol.name, traces=traces)
+
+
+def corresponding_runs(protocols: Sequence[ActionProtocol], n: int,
+                       preferences: Sequence[int], pattern: FailurePattern,
+                       horizon: Optional[int] = None) -> Dict[str, RunTrace]:
+    """Run several protocols on the *same* initial global state.
+
+    Returns a mapping from protocol name to its trace.  Protocol names must be
+    unique within the call.
+    """
+    results: Dict[str, RunTrace] = {}
+    for protocol in protocols:
+        if protocol.name in results:
+            raise ValueError(f"duplicate protocol name {protocol.name!r} in corresponding_runs")
+        results[protocol.name] = simulate(protocol, n, preferences, pattern=pattern,
+                                          horizon=horizon)
+    return results
+
+
+def sweep(protocols: Sequence[ActionProtocol], n: int, scenarios: Iterable[Scenario],
+          horizon: Optional[int] = None) -> Dict[str, BatchResult]:
+    """Run several protocols over the same workload, scenario by scenario."""
+    scenario_list: List[Scenario] = list(scenarios)
+    return {
+        protocol.name: run_batch(protocol, n, scenario_list, horizon=horizon)
+        for protocol in protocols
+    }

@@ -1,0 +1,16 @@
+"""Interpreted systems, points, and EBA context descriptors."""
+
+from .contexts import EBAContext, gamma_basic, gamma_fip, gamma_min
+from .interpreted import InterpretedSystem, build_system, build_system_for_model
+from .points import Point
+
+__all__ = [
+    "EBAContext",
+    "InterpretedSystem",
+    "Point",
+    "build_system",
+    "build_system_for_model",
+    "gamma_basic",
+    "gamma_fip",
+    "gamma_min",
+]

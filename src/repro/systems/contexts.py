@@ -1,0 +1,111 @@
+"""EBA context descriptors: ``γ_min``, ``γ_basic``, ``γ_fip`` (Sections 6 and 7).
+
+An EBA context ``γ = (E, F, π)`` fixes the information exchange, the failure
+model, and the interpretation of the primitive propositions.  In this library
+the exchange is supplied by the action protocol (every protocol constructs its
+matching exchange) and the interpretation is the standard one hard-wired into
+the model checker, so a context descriptor carries the remaining data: the
+number of agents, the failure bound, the failure model to enumerate, and the
+horizon up to which systems are built.
+
+Contexts exist to make the implementation-checking experiments read like the
+paper: ``gamma_min(n, t).build_system(MinProtocol(t))`` is the system
+``I_{γ_min,n,t, P_min}`` of Theorem 6.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..failures.models import FailureModel, SendingOmissionModel
+from ..failures.pattern import FailurePattern
+from ..protocols.base import ActionProtocol
+from .interpreted import InterpretedSystem, build_system
+
+
+@dataclass(frozen=True)
+class EBAContext:
+    """A family member ``γ_{·,n,t}``: failure model plus system-building parameters.
+
+    Attributes
+    ----------
+    name:
+        ``"gamma_min"``, ``"gamma_basic"``, or ``"gamma_fip"`` (informational).
+    n, t:
+        Number of agents and the failure bound.
+    horizon:
+        How many rounds to simulate when building systems; defaults to the
+        termination bound ``t + 2`` which is enough for every decision of the
+        paper's protocols to be visible.
+    failure_model:
+        The failure model ``F`` whose patterns are enumerated.
+    max_faulty_enumerated:
+        Optionally cap the number of faulty agents enumerated (the knowledge
+        tests are unchanged for the properties we check as long as at least one
+        faulty agent is allowed; this keeps ``n = 4`` systems tractable).
+    """
+
+    name: str
+    n: int
+    t: int
+    horizon: int
+    failure_model: FailureModel
+    max_faulty_enumerated: Optional[int] = None
+
+    def patterns(self) -> Iterator[FailurePattern]:
+        """Enumerate the failure patterns of the context (up to the horizon)."""
+        if self.max_faulty_enumerated is None:
+            return self.failure_model.enumerate(self.horizon)
+        return self.failure_model.enumerate(self.horizon,
+                                            max_faulty=self.max_faulty_enumerated)
+
+    def build_system(self, protocol: ActionProtocol) -> InterpretedSystem:
+        """Build ``I_{γ, P}`` for the given action protocol."""
+        return build_system(protocol, self.n, self.horizon, self.patterns())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(n={self.n}, t={self.t}, horizon={self.horizon})"
+
+
+def _default_horizon(t: int, horizon: Optional[int]) -> int:
+    return t + 2 if horizon is None else horizon
+
+
+def gamma_min(n: int, t: int, horizon: Optional[int] = None,
+              max_faulty_enumerated: Optional[int] = None) -> EBAContext:
+    """The minimal context ``γ_{min,n,t}`` (pair it with :class:`~repro.protocols.MinProtocol`)."""
+    return EBAContext(
+        name="gamma_min",
+        n=n,
+        t=t,
+        horizon=_default_horizon(t, horizon),
+        failure_model=SendingOmissionModel(n=n, t=t),
+        max_faulty_enumerated=max_faulty_enumerated,
+    )
+
+
+def gamma_basic(n: int, t: int, horizon: Optional[int] = None,
+                max_faulty_enumerated: Optional[int] = None) -> EBAContext:
+    """The basic context ``γ_{basic,n,t}`` (pair it with :class:`~repro.protocols.BasicProtocol`)."""
+    return EBAContext(
+        name="gamma_basic",
+        n=n,
+        t=t,
+        horizon=_default_horizon(t, horizon),
+        failure_model=SendingOmissionModel(n=n, t=t),
+        max_faulty_enumerated=max_faulty_enumerated,
+    )
+
+
+def gamma_fip(n: int, t: int, horizon: Optional[int] = None,
+              max_faulty_enumerated: Optional[int] = None) -> EBAContext:
+    """The full-information context ``γ_{fip,n,t}`` (pair it with ``OptimalFipProtocol``)."""
+    return EBAContext(
+        name="gamma_fip",
+        n=n,
+        t=t,
+        horizon=_default_horizon(t, horizon),
+        failure_model=SendingOmissionModel(n=n, t=t),
+        max_faulty_enumerated=max_faulty_enumerated,
+    )

@@ -1,0 +1,19 @@
+"""Points of an interpreted system.
+
+A *point* is a pair ``(run, time)``.  Runs are identified by their index in the
+system's run list, so a point is the hashable pair ``(run_index, time)``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """A point ``(r, m)`` of an interpreted system."""
+
+    run_index: int
+    time: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(r{self.run_index}, {self.time})"

@@ -1,0 +1,35 @@
+"""Workload generators: preference vectors and named scenarios."""
+
+from .preferences import (
+    all_ones,
+    all_zeros,
+    enumerate_preferences,
+    random_preferences,
+    single_one,
+    single_zero,
+    with_zero_fraction,
+)
+from .scenarios import (
+    example_7_1,
+    failure_free_scenarios,
+    hidden_chain_scenario,
+    intro_counterexample,
+    random_scenarios,
+    silent_fault_sweep,
+)
+
+__all__ = [
+    "all_ones",
+    "all_zeros",
+    "enumerate_preferences",
+    "example_7_1",
+    "failure_free_scenarios",
+    "hidden_chain_scenario",
+    "intro_counterexample",
+    "random_preferences",
+    "random_scenarios",
+    "silent_fault_sweep",
+    "single_one",
+    "single_zero",
+    "with_zero_fraction",
+]

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, PROTOCOLS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "min"
+        assert args.n == 6
+        assert args.t == 2
+
+    def test_every_registered_protocol_is_constructible(self):
+        for name, factory in PROTOCOLS.items():
+            protocol = factory(1)
+            assert protocol.t == 1, name
+
+
+class TestRunCommand:
+    def test_failure_free_run_exits_zero(self, capsys):
+        code = main(["run", "--protocol", "min", "--n", "4", "--t", "1",
+                     "--preferences", "0,1,1,1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "EBA specification: OK" in captured.out
+        assert "decided 0 in round 1" in captured.out
+
+    def test_example71_scenario_with_fip(self, capsys):
+        code = main(["run", "--protocol", "opt", "--scenario", "example71",
+                     "--n", "8", "--t", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "decided 1 in round 3" in captured.out
+
+    def test_intro_scenario_with_naive_protocol_reports_violation(self, capsys):
+        code = main(["run", "--protocol", "naive0", "--scenario", "intro",
+                     "--n", "4", "--t", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "violated" in captured.out
+
+    def test_silent_agents_option(self, capsys):
+        code = main(["run", "--protocol", "basic", "--n", "5", "--t", "2",
+                     "--preferences", "1,1,1,1,1", "--silent", "0,1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "agent 0*" in captured.out
+
+    def test_show_rounds_prints_message_matrix(self, capsys):
+        code = main(["run", "--protocol", "min", "--n", "4", "--t", "1",
+                     "--preferences", "0,1,1,1", "--show-rounds"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "round 1:" in captured.out
+        assert "->" in captured.out
+
+    def test_bad_preferences_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "min", "--n", "4", "--t", "1",
+                  "--preferences", "0,1"])
+
+    def test_random_scenario_is_reproducible(self, capsys):
+        main(["run", "--protocol", "min", "--scenario", "random", "--n", "5",
+              "--t", "1", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["run", "--protocol", "min", "--scenario", "random", "--n", "5",
+              "--t", "1", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestExperimentCommand:
+    def test_experiment_e2_prints_table(self, capsys):
+        code = main(["experiment", "e2", "--n", "5", "--t", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Proposition 8.2" in captured.out
+
+    def test_experiment_e6_prints_table(self, capsys):
+        code = main(["experiment", "e6", "--n", "4", "--t", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "counterexample" in captured.out
+
+    def test_unknown_experiment_fails(self, capsys):
+        code = main(["experiment", "e99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_every_experiment(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
+
+
+class TestListCommand:
+    def test_list_prints_everything(self, capsys):
+        code = main(["list"])
+        captured = capsys.readouterr()
+        assert code == 0
+        for key in EXPERIMENTS:
+            assert key in captured.out
+        for protocol in PROTOCOLS:
+            assert protocol in captured.out

@@ -1,0 +1,55 @@
+"""Unit tests for repro.core.agents."""
+
+import pytest
+
+from repro.core.agents import (
+    all_agents,
+    complement,
+    format_agent_set,
+    validate_agent,
+    validate_agent_set,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestAllAgents:
+    def test_enumerates_range(self):
+        assert all_agents(4) == (0, 1, 2, 3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            all_agents(0)
+
+
+class TestValidation:
+    def test_validate_agent_in_range(self):
+        assert validate_agent(2, 4) == 2
+
+    def test_validate_agent_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            validate_agent(4, 4)
+        with pytest.raises(ConfigurationError):
+            validate_agent(-1, 4)
+
+    def test_validate_agent_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            validate_agent(True, 4)
+
+    def test_validate_agent_set(self):
+        assert validate_agent_set([0, 2], 4) == frozenset({0, 2})
+
+    def test_validate_agent_set_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            validate_agent_set([0, 5], 4)
+
+
+class TestComplement:
+    def test_complement(self):
+        assert complement({0, 2}, 4) == frozenset({1, 3})
+
+    def test_complement_of_everything_is_empty(self):
+        assert complement(range(3), 3) == frozenset()
+
+
+def test_format_agent_set_sorts():
+    assert format_agent_set(frozenset({3, 1})) == "{1, 3}"

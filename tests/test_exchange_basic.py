@@ -1,0 +1,73 @@
+"""Unit tests for the basic information exchange E_basic."""
+
+import pytest
+
+from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.exchange import BasicExchange, DecideNotification, InitOneHeartbeat
+
+
+@pytest.fixture
+def exchange():
+    return BasicExchange(4)
+
+
+class TestMessages:
+    def test_undecided_one_sends_heartbeat(self, exchange):
+        state = exchange.initial_state(0, 1)
+        assert exchange.messages_for(state, NOOP) == (InitOneHeartbeat(),) * 4
+
+    def test_undecided_zero_is_silent(self, exchange):
+        state = exchange.initial_state(0, 0)
+        assert exchange.messages_for(state, NOOP) == (None,) * 4
+
+    def test_decide_overrides_heartbeat(self, exchange):
+        state = exchange.initial_state(0, 1)
+        assert exchange.messages_for(state, DECIDE_1) == (DecideNotification(1),) * 4
+
+    def test_no_heartbeat_after_decision(self, exchange):
+        state = exchange.initial_state(0, 1)
+        decided = exchange.update(state, DECIDE_1, (None,) * 4)
+        assert exchange.messages_for(decided, NOOP) == (None,) * 4
+
+    def test_no_heartbeat_once_jd_is_set(self, exchange):
+        state = exchange.initial_state(0, 1)
+        heard = exchange.update(state, NOOP, (DecideNotification(0), None, None, None))
+        assert heard.jd == 0
+        assert exchange.messages_for(heard, NOOP) == (None,) * 4
+
+
+class TestCounter:
+    def test_counts_heartbeats(self, exchange):
+        state = exchange.initial_state(0, 1)
+        received = (InitOneHeartbeat(), InitOneHeartbeat(), None, InitOneHeartbeat())
+        updated = exchange.update(state, NOOP, received)
+        assert updated.count_ones == 3
+
+    def test_counter_reset_after_own_decision(self, exchange):
+        state = exchange.initial_state(0, 1)
+        received = (InitOneHeartbeat(),) * 4
+        updated = exchange.update(state, DECIDE_1, received)
+        assert updated.count_ones == 0
+
+    def test_counter_reset_when_decide_notification_arrives(self, exchange):
+        state = exchange.initial_state(0, 1)
+        received = (InitOneHeartbeat(), DecideNotification(1), InitOneHeartbeat(), None)
+        updated = exchange.update(state, NOOP, received)
+        assert updated.count_ones == 0
+        assert updated.jd == 1
+
+    def test_counter_is_per_round(self, exchange):
+        state = exchange.initial_state(0, 1)
+        first = exchange.update(state, NOOP, (InitOneHeartbeat(),) * 4)
+        assert first.count_ones == 4
+        second = exchange.update(first, NOOP, (InitOneHeartbeat(), None, None, None))
+        assert second.count_ones == 1
+
+
+class TestEbaContextConstraints:
+    def test_decide_messages_distinguishable_from_heartbeat(self, exchange):
+        assert DecideNotification(0) != InitOneHeartbeat()
+        assert DecideNotification(1) != InitOneHeartbeat()
+
+    def test_initial_state_has_zero_counter(self, exchange):
+        assert exchange.initial_state(3, 1).count_ones == 0

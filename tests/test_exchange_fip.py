@@ -1,0 +1,73 @@
+"""Unit tests for the full-information exchange E_fip."""
+
+import pytest
+
+from repro.core.types import DECIDE_1, NOOP
+from repro.exchange import DecideNotification, FullInformationExchange, GraphMessage
+from repro.exchange.fip import FipLocalState
+
+
+@pytest.fixture
+def exchange():
+    return FullInformationExchange(3)
+
+
+class TestMessages:
+    def test_broadcasts_graph_regardless_of_action(self, exchange):
+        state = exchange.initial_state(0, 1)
+        for action in (NOOP, DECIDE_1):
+            messages = exchange.messages_for(state, action)
+            assert len(messages) == 3
+            assert all(isinstance(m, GraphMessage) for m in messages)
+            assert all(m.graph == state.graph for m in messages)
+
+    def test_graph_message_bits_match_graph(self, exchange):
+        state = exchange.initial_state(1, 0)
+        message = exchange.messages_for(state, NOOP)[0]
+        assert exchange.message_bits(message) == state.graph.bit_size()
+
+
+class TestUpdate:
+    def test_non_graph_messages_are_ignored_for_the_graph(self, exchange):
+        state = exchange.initial_state(0, 1)
+        received = (DecideNotification(0), None, None)
+        updated = exchange.update(state, NOOP, received)
+        # The decide notification is not a graph, so it contributes no labels
+        # beyond the direct this-message-arrived observation of slot 0...
+        assert updated.graph.time == 1
+        # ...but jd still reflects the decide notification (EBA-context bookkeeping).
+        assert updated.jd == 0
+
+    def test_update_advances_graph_and_time_together(self, exchange):
+        state = exchange.initial_state(2, 1)
+        peers = [exchange.initial_state(agent, 1) for agent in range(3)]
+        received = tuple(GraphMessage(peer.graph) for peer in peers)
+        updated = exchange.update(state, NOOP, received)
+        assert updated.time == 1
+        assert updated.graph.time == 1
+        assert updated.graph.known_preferences() == {0: 1, 1: 1, 2: 1}
+
+    def test_decision_recorded_in_state(self, exchange):
+        state = exchange.initial_state(0, 1)
+        updated = exchange.update(state, DECIDE_1, (None, None, None))
+        assert updated.decided == 1
+
+    def test_dropped_messages_recorded_as_blocked(self, exchange):
+        state = exchange.initial_state(0, 1)
+        peer = exchange.initial_state(1, 0)
+        received = (GraphMessage(state.graph), None, GraphMessage(peer.graph))
+        updated = exchange.update(state, NOOP, received)
+        assert updated.graph.label(0, 1, 0) is False
+        assert updated.graph.label(0, 2, 0) is True
+
+    def test_states_are_value_objects(self, exchange):
+        a = exchange.update(exchange.initial_state(0, 1), NOOP, (None, None, None))
+        b = exchange.update(exchange.initial_state(0, 1), NOOP, (None, None, None))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestStateValidation:
+    def test_graph_is_required(self):
+        with pytest.raises(ValueError):
+            FipLocalState(agent=0, n=3, time=0, init=1, decided=None, jd=None, graph=None)

@@ -1,0 +1,83 @@
+"""Unit tests for the minimal information exchange E_min."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.exchange import DecideNotification, MinimalExchange
+
+
+@pytest.fixture
+def exchange():
+    return MinimalExchange(4)
+
+
+class TestInitialState:
+    def test_shape(self, exchange):
+        state = exchange.initial_state(2, 1)
+        assert state.agent == 2
+        assert state.time == 0
+        assert state.init == 1
+        assert state.decided is None
+        assert state.jd is None
+
+    def test_rejects_non_binary_init(self, exchange):
+        with pytest.raises(ValueError):
+            exchange.initial_state(0, 2)
+
+
+class TestMessages:
+    def test_silent_on_noop(self, exchange):
+        state = exchange.initial_state(0, 1)
+        assert exchange.messages_for(state, NOOP) == (None,) * 4
+
+    def test_broadcasts_decide_value(self, exchange):
+        state = exchange.initial_state(0, 0)
+        messages = exchange.messages_for(state, DECIDE_0)
+        assert messages == (DecideNotification(0),) * 4
+        messages = exchange.messages_for(state, DECIDE_1)
+        assert messages == (DecideNotification(1),) * 4
+
+
+class TestUpdate:
+    def test_time_advances(self, exchange):
+        state = exchange.initial_state(0, 1)
+        updated = exchange.update(state, NOOP, (None,) * 4)
+        assert updated.time == 1
+        assert updated.init == 1
+
+    def test_decision_is_recorded(self, exchange):
+        state = exchange.initial_state(0, 0)
+        updated = exchange.update(state, DECIDE_0, (None,) * 4)
+        assert updated.decided == 0
+
+    def test_jd_records_received_decision(self, exchange):
+        state = exchange.initial_state(0, 1)
+        received = (None, DecideNotification(1), None, None)
+        updated = exchange.update(state, NOOP, received)
+        assert updated.jd == 1
+
+    def test_jd_prefers_zero(self, exchange):
+        state = exchange.initial_state(0, 1)
+        received = (None, DecideNotification(1), DecideNotification(0), None)
+        updated = exchange.update(state, NOOP, received)
+        assert updated.jd == 0
+
+    def test_jd_resets_when_nothing_received(self, exchange):
+        state = exchange.initial_state(0, 1)
+        once = exchange.update(state, NOOP, (None, DecideNotification(0), None, None))
+        assert once.jd == 0
+        twice = exchange.update(once, NOOP, (None,) * 4)
+        assert twice.jd is None
+
+    def test_changing_a_decision_is_rejected(self, exchange):
+        state = exchange.initial_state(0, 0)
+        decided = exchange.update(state, DECIDE_0, (None,) * 4)
+        with pytest.raises(ProtocolError):
+            exchange.update(decided, DECIDE_1, (None,) * 4)
+
+    def test_states_are_hashable_value_objects(self, exchange):
+        a = exchange.update(exchange.initial_state(0, 1), NOOP, (None,) * 4)
+        b = exchange.update(exchange.initial_state(0, 1), NOOP, (None,) * 4)
+        assert a == b
+        assert hash(a) == hash(b)

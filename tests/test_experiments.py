@@ -1,0 +1,156 @@
+"""Tests for the experiment drivers (small, fast configurations).
+
+These tests run every experiment at a reduced size and assert the *shape* of
+the paper's claims (who wins, by what factor), which is exactly what the
+benchmark harness reports at larger sizes.
+"""
+
+import pytest
+
+from repro.experiments import (
+    agreement_violation,
+    decision_rounds,
+    dominance_study,
+    example_7_1,
+    fip_gap,
+    implementation_check,
+    message_complexity,
+    termination_bound,
+)
+
+
+class TestMessageComplexity:
+    def test_pmin_sends_exactly_n_squared_bits(self):
+        for measurement in message_complexity.measure_bits(6, 2):
+            if measurement.protocol == "P_min":
+                assert measurement.bits == 36
+            assert measurement.within_bound
+
+    def test_ordering_matches_paper(self):
+        measurements = message_complexity.measure_bits(6, 2)
+        by_protocol = {}
+        for m in measurements:
+            by_protocol.setdefault(m.protocol, []).append(m.bits)
+        assert max(by_protocol["P_min"]) <= min(by_protocol["P_basic"])
+        assert max(by_protocol["P_basic"]) <= min(by_protocol["P_opt"])
+
+    def test_sweep_and_report(self):
+        rows = message_complexity.sweep_bits([(4, 1), (5, 2)], include_fip=False)
+        assert len(rows) == 2 * 2 * 2
+        text = message_complexity.report(settings=((4, 1),), include_fip=False)
+        assert "Proposition 8.1" in text
+
+
+class TestDecisionRounds:
+    def test_all_measurements_match_paper(self):
+        for measurement in decision_rounds.measure_decision_rounds(6, 2):
+            assert measurement.matches_paper, measurement
+
+    def test_report_renders(self):
+        assert "Proposition 8.2" in decision_rounds.report(settings=((4, 1),))
+
+
+class TestExample71:
+    def test_scaled_example_shape(self):
+        measurements = example_7_1.measure_example(n=7, t=3)
+        rounds = {m.protocol: m.nonfaulty_decide_by_round for m in measurements}
+        assert rounds["P_opt"] == 3
+        assert rounds["P_min"] == 5
+        assert rounds["P_basic"] == 5
+        assert all(m.decided_value == 1 for m in measurements)
+
+    def test_sweep_only_full_exposure_triggers_common_knowledge(self):
+        measurements = example_7_1.sweep_silent_faulty(6, 2)
+        opt_rounds = {m.silent_faulty: m.nonfaulty_decide_by_round
+                      for m in measurements if m.protocol == "P_opt"}
+        min_rounds = {m.silent_faulty: m.nonfaulty_decide_by_round
+                      for m in measurements if m.protocol == "P_min"}
+        assert opt_rounds[2] == 3
+        assert min_rounds[0] == 4 and min_rounds[2] == 4
+        # The FIP is never slower than P_min anywhere in the sweep.
+        assert all(opt_rounds[k] <= min_rounds[k] for k in opt_rounds)
+
+    def test_report_renders(self):
+        assert "Example 7.1" in example_7_1.report(n=5, t=2, include_sweep=False)
+
+
+class TestDominance:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return dominance_study.study(n=5, t=2, random_count=8, seed=1)
+
+    def test_richer_exchange_is_never_strictly_dominated(self, results):
+        # Cross-exchange comparisons may come out strict in favour of the richer
+        # information exchange, but never against it (Corollaries 6.7 / 7.8 say
+        # each protocol is optimal for its own exchange; a poorer exchange
+        # cannot beat it).
+        richness = {"P_opt": 3, "P_basic": 2, "P_min": 1, "P_min_delayed(2)": 0}
+        for (first, second), result in results.items():
+            if richness[first] > richness[second]:
+                assert not result.second_strictly_dominates, result.summary()
+            if richness[second] > richness[first]:
+                assert not result.first_strictly_dominates, result.summary()
+
+    def test_pmin_strictly_dominates_delayed_baseline(self, results):
+        result = results[("P_min", "P_min_delayed(2)")]
+        assert result.first_strictly_dominates
+
+    def test_opt_never_loses_to_limited_exchange(self, results):
+        for (first, second), result in results.items():
+            if first == "P_opt":
+                assert result.first_dominates
+
+    def test_report_renders(self):
+        assert "dominance" in dominance_study.report(n=4, t=1, random_count=3)
+
+
+class TestTermination:
+    def test_worst_case_within_bound(self):
+        scenarios = termination_bound.adversarial_workload(5, 2, random_count=8, seed=2)
+        for measurement in termination_bound.measure_termination(5, 2, scenarios):
+            assert measurement.within_bound
+            assert measurement.spec_violations == 0
+
+    def test_exhaustive_small_workload(self):
+        scenarios = termination_bound.exhaustive_workload(3, 1, horizon=1)
+        assert len(scenarios) == (1 + 3 * 4) * 8
+
+    def test_report_renders(self):
+        assert "Proposition 6.1" in termination_bound.report(n=4, t=1, random_count=4)
+
+
+class TestAgreementViolation:
+    def test_naive_breaks_and_chain_protocols_do_not(self):
+        for measurement in agreement_violation.measure_agreement(n=5, t=2):
+            if measurement.expected_to_break:
+                assert not measurement.agreement_holds
+            else:
+                assert measurement.agreement_holds
+
+    def test_report_renders(self):
+        assert "counterexample" in agreement_violation.report(sizes=((3, 1),))
+
+
+class TestImplementationCheck:
+    def test_measurements_all_hold(self):
+        for measurement in implementation_check.measure(n=3, t=1, include_equivalence=False):
+            assert measurement.holds
+
+    def test_report_renders(self):
+        text = implementation_check.report(n=3, t=1)
+        assert "Theorem 6.5" in text and "Theorem 6.6" in text
+
+
+class TestFipGap:
+    def test_random_gap_is_small(self):
+        for measurement in fip_gap.random_gap_study(n=5, t=2, count=10, seed=5):
+            assert measurement.mean_gap <= 1.0
+            assert measurement.max_gap <= 2 + 1
+
+    def test_worst_case_gap_ranks_protocols(self):
+        measurements = {m.protocol: m for m in fip_gap.worst_case_gap_study(n=6, t=2)}
+        assert measurements["P_min"].mean_gap >= measurements["P_basic"].mean_gap
+        assert measurements["P_min"].max_gap >= 1
+
+    def test_report_renders(self):
+        assert "P_opt" in fip_gap.report(n=5, t=1, count=5)

@@ -1,0 +1,121 @@
+"""Unit tests for repro.failures.models."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError, FailureModelError
+from repro.failures import CrashModel, FailureFreeModel, FailurePattern, SendingOmissionModel
+
+
+class TestSendingOmissionModel:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SendingOmissionModel(n=3, t=3)
+        with pytest.raises(ConfigurationError):
+            SendingOmissionModel(n=0, t=0)
+        with pytest.raises(ConfigurationError):
+            SendingOmissionModel(n=3, t=-1)
+
+    def test_name(self):
+        assert SendingOmissionModel(n=5, t=2).name == "SO(2)"
+
+    def test_admits_failure_free(self):
+        model = SendingOmissionModel(n=4, t=1)
+        assert model.admits(model.failure_free())
+
+    def test_rejects_too_many_faulty(self):
+        model = SendingOmissionModel(n=4, t=1)
+        pattern = FailurePattern(n=4, faulty=frozenset({0, 1}))
+        assert not model.admits(pattern)
+        with pytest.raises(FailureModelError):
+            model.validate(pattern)
+
+    def test_rejects_wrong_size(self):
+        model = SendingOmissionModel(n=4, t=1)
+        with pytest.raises(FailureModelError):
+            model.validate(FailurePattern.failure_free(5))
+
+    def test_sample_is_admissible_and_reproducible(self):
+        model = SendingOmissionModel(n=5, t=2)
+        first = model.sample(random.Random(7), horizon=3)
+        second = model.sample(random.Random(7), horizon=3)
+        assert first == second
+        assert model.admits(first)
+
+    def test_sample_respects_num_faulty(self):
+        model = SendingOmissionModel(n=5, t=2)
+        pattern = model.sample(random.Random(1), horizon=2, num_faulty=2)
+        assert pattern.num_faulty == 2
+
+    def test_enumeration_count_matches_formula(self):
+        model = SendingOmissionModel(n=3, t=1)
+        patterns = list(model.enumerate(horizon=1))
+        # 1 failure-free + 3 choices of faulty agent * 2^(1 round * 2 receivers)
+        assert len(patterns) == 1 + 3 * 4
+        assert len(patterns) == model.count_patterns(horizon=1)
+        assert len(set(patterns)) == len(patterns)
+
+    def test_enumeration_respects_max_faulty(self):
+        model = SendingOmissionModel(n=3, t=2)
+        capped = list(model.enumerate(horizon=1, max_faulty=0))
+        assert capped == [model.failure_free()]
+
+    def test_enumerated_patterns_are_admissible(self):
+        model = SendingOmissionModel(n=3, t=1)
+        for pattern in model.enumerate(horizon=2):
+            assert model.admits(pattern)
+
+
+class TestCrashModel:
+    def test_crash_pattern_structure(self):
+        model = CrashModel(n=4, t=2)
+        pattern = model.crash_pattern({1: (1, [2])}, horizon=3)
+        # Before the crash round agent 1 sends normally.
+        assert pattern.delivered(0, 1, 0)
+        # In the crash round only agent 2 is reached.
+        assert pattern.delivered(1, 1, 2)
+        assert not pattern.delivered(1, 1, 0)
+        # Afterwards nothing is delivered.
+        assert not pattern.delivered(2, 1, 3)
+
+    def test_validate_accepts_crash_patterns(self):
+        model = CrashModel(n=4, t=1)
+        pattern = model.crash_pattern({0: (0, [])}, horizon=3)
+        assert model.admits(pattern)
+
+    def test_validate_rejects_resumed_sender(self):
+        model = CrashModel(n=3, t=1)
+        # Agent 1 is silent in round 1 but reaches agent 2 again in round 2
+        # (while still dropping its message to agent 0): not a crash.
+        pattern = FailurePattern.from_blocked(3, [(0, 1, 0), (0, 1, 2), (1, 1, 0)])
+        with pytest.raises(FailureModelError):
+            model.validate(pattern)
+
+    def test_too_many_crashes_rejected(self):
+        model = CrashModel(n=4, t=1)
+        with pytest.raises(FailureModelError):
+            model.crash_pattern({0: (0, []), 1: (0, [])}, horizon=2)
+
+    def test_sample_is_admissible(self):
+        model = CrashModel(n=5, t=2)
+        pattern = model.sample(random.Random(3), horizon=3)
+        assert model.admits(pattern)
+
+    def test_enumeration_contains_failure_free(self):
+        model = CrashModel(n=3, t=1)
+        patterns = list(model.enumerate(horizon=1))
+        assert model.failure_free() in patterns
+        assert all(model.admits(p) for p in patterns)
+
+
+class TestFailureFreeModel:
+    def test_only_empty_pattern(self):
+        model = FailureFreeModel(4)
+        assert list(model.enumerate(horizon=5)) == [FailurePattern.failure_free(4)]
+        assert model.sample(random.Random(0), horizon=2) == FailurePattern.failure_free(4)
+
+    def test_rejects_faulty_patterns(self):
+        model = FailureFreeModel(4)
+        with pytest.raises(FailureModelError):
+            model.validate(FailurePattern(n=4, faulty=frozenset({1})))

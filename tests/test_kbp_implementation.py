@@ -1,0 +1,140 @@
+"""Unit tests for implementation checking and epistemic synthesis.
+
+These are the library-level checks of Theorems 6.5 / 6.6 and of the Section 7
+observation that P1 coincides with P0 in the limited-information contexts, for
+the smallest nontrivial system size (n = 3, t = 1).  Larger sizes live in the
+slow test module.
+"""
+
+import pytest
+
+from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.kbp import (
+    TableProtocol,
+    check_implements,
+    derive_implementation,
+    make_p0,
+    make_p1,
+    programs_equivalent,
+)
+from repro.protocols import BasicProtocol, DelayedMinProtocol, MinProtocol
+from repro.systems import gamma_basic, gamma_min
+
+
+@pytest.fixture(scope="module")
+def min_context():
+    return gamma_min(3, 1)
+
+
+@pytest.fixture(scope="module")
+def basic_context():
+    return gamma_basic(3, 1)
+
+
+@pytest.fixture(scope="module")
+def min_system(min_context):
+    return min_context.build_system(MinProtocol(1))
+
+
+@pytest.fixture(scope="module")
+def basic_system(basic_context):
+    return basic_context.build_system(BasicProtocol(1))
+
+
+class TestTheorem65:
+    def test_pmin_implements_p0(self, min_context, min_system):
+        report = check_implements(MinProtocol(1), make_p0(3), min_context, system=min_system)
+        assert report.ok
+        assert report.checked_states > 0
+        assert "implements" in repr(report)
+
+    def test_pmin_implements_p1_as_well(self, min_context, min_system):
+        # P1 degenerates to P0 in gamma_min, so P_min implements it too.
+        report = check_implements(MinProtocol(1), make_p1(3, 1), min_context, system=min_system)
+        assert report.ok
+
+    def test_delayed_min_does_not_implement_p0(self, min_context):
+        report = check_implements(DelayedMinProtocol(1, delay=1), make_p0(3), min_context)
+        assert not report.ok
+        assert report.mismatches
+        mismatch = report.mismatches[0]
+        assert mismatch.prescribed_action == DECIDE_1
+        assert mismatch.concrete_action == NOOP
+
+
+class TestTheorem66:
+    def test_pbasic_implements_p0(self, basic_context, basic_system):
+        report = check_implements(BasicProtocol(1), make_p0(3), basic_context,
+                                  system=basic_system)
+        assert report.ok
+
+    def test_pmin_rules_do_not_implement_p0_over_basic_exchange(self, basic_context):
+        # Using P_min's decision rule over E_basic is *not* an implementation of
+        # P0: with the extra (init, 1) heartbeats an agent sometimes knows that
+        # nobody can be deciding 0 before round t+2, and P0 requires it to act
+        # on that knowledge.
+        class MinRulesOverBasic(BasicProtocol):
+            name = "P_min_rules_over_basic"
+
+            def act(self, state):
+                from repro.core.types import DECIDE_0 as D0, DECIDE_1 as D1, NOOP as N
+
+                if state.decided is not None:
+                    return N
+                if state.init == 0 or state.jd == 0:
+                    return D0
+                if state.time == self.t + 1:
+                    return D1
+                return N
+
+        report = check_implements(MinRulesOverBasic(1), make_p0(3), basic_context)
+        assert not report.ok
+
+
+class TestProgramEquivalence:
+    def test_p0_equals_p1_in_gamma_min(self, min_system):
+        assert programs_equivalent(make_p0(3), make_p1(3, 1), min_system)
+
+    def test_p0_equals_p1_in_gamma_basic(self, basic_system):
+        assert programs_equivalent(make_p0(3), make_p1(3, 1), basic_system)
+
+    def test_p0_differs_from_a_trivial_program(self, min_system):
+        from repro.kbp.programs import GuardedClause, KnowledgeBasedProgram, LocalProgram
+        from repro.logic import TRUE
+
+        always_noop = KnowledgeBasedProgram(
+            "noop", [LocalProgram(agent, (GuardedClause(TRUE, NOOP),)) for agent in range(3)])
+        assert not programs_equivalent(make_p0(3), always_noop, min_system)
+
+
+class TestSynthesis:
+    def test_derived_implementation_matches_pmin(self, min_context):
+        derived, converged = derive_implementation(make_p0(3), min_context,
+                                                   seed=MinProtocol(1))
+        assert converged
+        assert isinstance(derived, TableProtocol)
+        protocol = MinProtocol(1)
+        assert all(protocol.act(state) == action
+                   for (_agent, state), action in derived.table.items())
+
+    def test_synthesis_converges_from_a_lazy_seed(self, min_context):
+        # Even when seeded with a protocol that is too slow, the iteration
+        # reaches a fixed point whose prescriptions match P_min's.
+        derived, converged = derive_implementation(make_p0(3), min_context,
+                                                   seed=DelayedMinProtocol(1, delay=1),
+                                                   max_iterations=6)
+        assert converged
+        protocol = MinProtocol(1)
+        mismatches = [
+            (state, action)
+            for (_agent, state), action in derived.table.items()
+            if protocol.act(state) != action
+        ]
+        assert mismatches == []
+
+    def test_table_protocol_falls_back_to_noop(self, min_context):
+        derived, _ = derive_implementation(make_p0(3), min_context, seed=MinProtocol(1))
+        from repro.exchange.base import LocalState
+
+        unseen = LocalState(agent=0, n=3, time=7, init=1, decided=None, jd=None)
+        assert derived.act(unseen) == NOOP

@@ -1,0 +1,104 @@
+"""Unit tests for the formula AST and derived constructors."""
+
+from repro.logic import (
+    And,
+    CommonKnowledge,
+    DecidedEquals,
+    InitEquals,
+    IsNonfaulty,
+    Knows,
+    NONFAULTY,
+    Next,
+    Not,
+    Or,
+    Previous,
+    TRUE,
+    common_knowledge_t_faulty,
+    decided,
+    deciding,
+    exists_value,
+    just_decided,
+    no_nonfaulty_decided,
+    nobody_deciding,
+    someone_just_decided,
+    undecided,
+)
+
+
+class TestValueSemantics:
+    def test_atoms_are_hashable_value_objects(self):
+        assert InitEquals(0, 1) == InitEquals(0, 1)
+        assert InitEquals(0, 1) != InitEquals(0, 0)
+        assert hash(DecidedEquals(1, None)) == hash(DecidedEquals(1, None))
+
+    def test_connectives_compare_structurally(self):
+        a = And((InitEquals(0, 1), IsNonfaulty(0)))
+        b = And((InitEquals(0, 1), IsNonfaulty(0)))
+        assert a == b
+        assert a != And((IsNonfaulty(0), InitEquals(0, 1)))
+
+    def test_operator_sugar(self):
+        conjunction = InitEquals(0, 1) & IsNonfaulty(1)
+        assert isinstance(conjunction, And)
+        disjunction = InitEquals(0, 1) | IsNonfaulty(1)
+        assert isinstance(disjunction, Or)
+        negation = ~InitEquals(0, 1)
+        assert isinstance(negation, Not)
+        implication = InitEquals(0, 1).implies(IsNonfaulty(1))
+        assert isinstance(implication, Or)
+
+
+class TestDerivedConstructors:
+    def test_decided_and_undecided(self):
+        formula = decided(2)
+        assert isinstance(formula, Or)
+        assert DecidedEquals(2, 0) in formula.operands
+        assert undecided(2) == DecidedEquals(2, None)
+
+    def test_just_decided_uses_previous(self):
+        formula = just_decided(1, 0)
+        assert isinstance(formula, And)
+        assert DecidedEquals(1, 0) in formula.operands
+        assert Previous(DecidedEquals(1, None)) in formula.operands
+
+    def test_deciding_uses_next(self):
+        formula = deciding(1, 0)
+        assert DecidedEquals(1, None) in formula.operands
+        assert Next(DecidedEquals(1, 0)) in formula.operands
+
+    def test_exists_value_ranges_over_agents(self):
+        formula = exists_value(3, 0)
+        assert formula.operands == (InitEquals(0, 0), InitEquals(1, 0), InitEquals(2, 0))
+
+    def test_someone_just_decided_and_nobody_deciding(self):
+        assert len(someone_just_decided(4, 0).operands) == 4
+        negated = nobody_deciding(4, 0)
+        assert len(negated.operands) == 4
+        assert all(isinstance(op, Not) for op in negated.operands)
+
+    def test_no_nonfaulty_decided_guards_with_membership(self):
+        formula = no_nonfaulty_decided(2, 1)
+        assert len(formula.operands) == 2
+
+    def test_common_knowledge_t_faulty_enumerates_subsets(self):
+        formula = common_knowledge_t_faulty(4, 2, TRUE)
+        # C(4, 2) = 6 candidate faulty sets.
+        assert len(formula.operands) == 6
+        assert all(isinstance(op, CommonKnowledge) for op in formula.operands)
+        assert all(op.group == NONFAULTY for op in formula.operands)
+
+    def test_common_knowledge_t_faulty_with_t_zero(self):
+        formula = common_knowledge_t_faulty(3, 0, InitEquals(0, 1))
+        assert len(formula.operands) == 1
+
+
+class TestKnowledgeOperators:
+    def test_knows_wraps_operand(self):
+        formula = Knows(2, exists_value(3, 0))
+        assert formula.agent == 2
+        assert isinstance(formula.operand, Or)
+
+    def test_repr_is_informative(self):
+        assert "K_1" in repr(Knows(1, TRUE))
+        assert "C_N" in repr(CommonKnowledge(NONFAULTY, TRUE))
+        assert "init_0=1" in repr(InitEquals(0, 1))

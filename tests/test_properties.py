@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The EBA specification must hold for *every* admissible failure pattern and
+preference vector, so it is a natural target for property-based testing: we
+draw random sending-omission adversaries and preference vectors and check the
+specification, the termination bound, 0-chain structure, and cross-protocol
+dominance invariants on the resulting runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import compare_traces, zero_chains
+from repro.exchange import CommGraph
+from repro.failures import FailurePattern
+from repro.protocols import BasicProtocol, MinProtocol, OptimalFipProtocol
+from repro.simulation import simulate
+from repro.spec import check_eba
+
+# ---------------------------------------------------------------------------- strategies
+
+#: Shared hypothesis settings: the FIP runs are comparatively slow, so keep the
+#: example counts modest and silence the too-slow health check.
+PROPERTY_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def eba_scenarios(draw, min_n=3, max_n=6, max_t=2):
+    """A random (n, t, preferences, SO(t) failure pattern) quadruple."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    t = draw(st.integers(min_value=0, max_value=min(max_t, n - 2)))
+    preferences = tuple(draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)))
+    faulty = draw(st.sets(st.integers(0, n - 1), max_size=t))
+    horizon = t + 2
+    omissions = set()
+    for sender in faulty:
+        for round_index in range(horizon):
+            for receiver in range(n):
+                if receiver == sender:
+                    continue
+                if draw(st.booleans()):
+                    omissions.add((round_index, sender, receiver))
+    pattern = FailurePattern(n=n, faulty=frozenset(faulty), omissions=frozenset(omissions))
+    return n, t, preferences, pattern
+
+
+# ---------------------------------------------------------------------------- EBA invariants
+
+
+class TestSpecificationProperties:
+    @settings(**PROPERTY_SETTINGS)
+    @given(scenario=eba_scenarios())
+    def test_pmin_satisfies_eba_with_deadline(self, scenario):
+        n, t, preferences, pattern = scenario
+        trace = simulate(MinProtocol(t), n, preferences, pattern)
+        report = check_eba(trace, deadline=t + 2, validity_for_faulty=True,
+                           termination_for_faulty=True)
+        assert report.ok, report.violations()
+
+    @settings(**PROPERTY_SETTINGS)
+    @given(scenario=eba_scenarios())
+    def test_pbasic_satisfies_eba_with_deadline(self, scenario):
+        n, t, preferences, pattern = scenario
+        trace = simulate(BasicProtocol(t), n, preferences, pattern)
+        report = check_eba(trace, deadline=t + 2, validity_for_faulty=True,
+                           termination_for_faulty=True)
+        assert report.ok, report.violations()
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    @given(scenario=eba_scenarios(max_n=5, max_t=2))
+    def test_popt_satisfies_eba_with_deadline(self, scenario):
+        n, t, preferences, pattern = scenario
+        trace = simulate(OptimalFipProtocol(t), n, preferences, pattern)
+        report = check_eba(trace, deadline=t + 2, validity_for_faulty=True,
+                           termination_for_faulty=True)
+        assert report.ok, report.violations()
+
+    @settings(**PROPERTY_SETTINGS)
+    @given(scenario=eba_scenarios())
+    def test_unanimous_preferences_force_that_decision(self, scenario):
+        n, t, preferences, pattern = scenario
+        for value in (0, 1):
+            unanimous = tuple(value for _ in range(n))
+            trace = simulate(MinProtocol(t), n, unanimous, pattern)
+            assert all(trace.decision_value(agent) == value for agent in range(n))
+
+
+class TestChainProperties:
+    @settings(**PROPERTY_SETTINGS)
+    @given(scenario=eba_scenarios())
+    def test_every_zero_decision_is_backed_by_a_chain(self, scenario):
+        n, t, preferences, pattern = scenario
+        trace = simulate(MinProtocol(t), n, preferences, pattern)
+        chains = zero_chains(trace)
+        chain_endpoints = {(chain.last_agent, chain.length) for chain in chains}
+        for agent in range(n):
+            round_number = trace.decision_round(agent)
+            if round_number is not None and trace.decision_value(agent) == 0:
+                assert (agent, round_number - 1) in chain_endpoints
+
+    @settings(**PROPERTY_SETTINGS)
+    @given(scenario=eba_scenarios())
+    def test_chains_start_with_an_initial_zero_and_are_distinct(self, scenario):
+        n, t, preferences, pattern = scenario
+        trace = simulate(MinProtocol(t), n, preferences, pattern)
+        for chain in zero_chains(trace):
+            assert preferences[chain.agents[0]] == 0
+            assert len(set(chain.agents)) == len(chain.agents)
+
+
+class TestDominanceProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    @given(scenario=eba_scenarios(max_n=5, max_t=1))
+    def test_popt_never_decides_later_than_pmin(self, scenario):
+        n, t, preferences, pattern = scenario
+        fast = simulate(OptimalFipProtocol(t), n, preferences, pattern)
+        slow = simulate(MinProtocol(t), n, preferences, pattern)
+        result = compare_traces([fast], [slow])
+        assert result.first_dominates, result.summary()
+
+    @settings(**PROPERTY_SETTINGS)
+    @given(scenario=eba_scenarios())
+    def test_pbasic_never_decides_later_than_pmin(self, scenario):
+        n, t, preferences, pattern = scenario
+        fast = simulate(BasicProtocol(t), n, preferences, pattern)
+        slow = simulate(MinProtocol(t), n, preferences, pattern)
+        result = compare_traces([fast], [slow])
+        assert result.first_dominates, result.summary()
+
+
+class TestCommGraphProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    @given(scenario=eba_scenarios(max_n=5, max_t=2))
+    def test_graph_merge_is_monotone_and_truthful(self, scenario):
+        """An agent's graph only grows over time and never records false deliveries."""
+        n, t, preferences, pattern = scenario
+        trace = simulate(OptimalFipProtocol(t), n, preferences, pattern, horizon=t + 2)
+        for agent in range(n):
+            previous_labels: frozenset = frozenset()
+            previous_prefs: dict = {}
+            for time in range(trace.horizon + 1):
+                graph: CommGraph = trace.state_of(agent, time).graph
+                labels = graph.labelled_edges()
+                assert previous_labels <= labels
+                prefs = graph.known_preferences()
+                assert set(previous_prefs) <= set(prefs)
+                for other, value in prefs.items():
+                    assert preferences[other] == value
+                for (round_index, sender, receiver, delivered) in labels:
+                    actually_delivered = (
+                        trace.rounds[round_index].delivered[receiver][sender] is not None)
+                    assert delivered == actually_delivered
+                previous_labels, previous_prefs = labels, prefs
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    @given(scenario=eba_scenarios(max_n=5, max_t=2))
+    def test_cone_restriction_reconstructs_true_states(self, scenario):
+        """Full information really is full: whenever ``(j, τ)`` hears-into an
+        observer's point, the observer's cone restriction of its own graph is
+        *exactly* the graph agent ``j`` actually held at time ``τ`` in the run.
+        This is the property the ``P_opt`` decision oracle relies on.
+        """
+        n, t, preferences, pattern = scenario
+        trace = simulate(OptimalFipProtocol(t), n, preferences, pattern, horizon=t + 2)
+        final_time = trace.horizon
+        for observer in range(n):
+            observer_graph = trace.state_of(observer, final_time).graph
+            frontier = observer_graph.heard_frontier(observer, final_time)
+            for agent in range(n):
+                for time in range(0, frontier[agent] + 1):
+                    reconstructed = observer_graph.restrict(agent, time)
+                    actual = trace.state_of(agent, time).graph
+                    assert reconstructed == actual
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    @given(scenario=eba_scenarios(max_n=5, max_t=2))
+    def test_known_faulty_agents_are_really_faulty(self, scenario):
+        n, t, preferences, pattern = scenario
+        trace = simulate(OptimalFipProtocol(t), n, preferences, pattern, horizon=t + 2)
+        for agent in range(n):
+            final = trace.state_of(agent, trace.horizon).graph
+            known = final.known_faulty(agent, trace.horizon)
+            assert known <= pattern.faulty
+
+
+class TestFailurePatternProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(scenario=eba_scenarios())
+    def test_swap_roles_is_involutive(self, scenario):
+        n, t, preferences, pattern = scenario
+        if pattern.num_faulty == 0:
+            return
+        faulty_agent = min(pattern.faulty)
+        other = min(set(range(n)) - pattern.faulty)
+        swapped_twice = pattern.swap_roles(faulty_agent, other).swap_roles(faulty_agent, other)
+        assert swapped_twice == pattern

@@ -1,0 +1,57 @@
+"""Unit tests for P_basic (the basic-exchange action protocol)."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.exchange import BasicExchange
+from repro.exchange.basic import BasicLocalState
+from repro.exchange.base import LocalState
+from repro.protocols import BasicProtocol
+
+
+def state(agent=0, n=5, time=0, init=1, decided=None, jd=None, count_ones=0):
+    return BasicLocalState(agent=agent, n=n, time=time, init=init, decided=decided,
+                           jd=jd, count_ones=count_ones)
+
+
+class TestRules:
+    def test_decides_zero_on_initial_zero(self):
+        assert BasicProtocol(2).act(state(init=0)) == DECIDE_0
+
+    def test_decides_zero_on_jd_zero(self):
+        assert BasicProtocol(2).act(state(time=2, jd=0)) == DECIDE_0
+
+    def test_decides_one_when_enough_heartbeats(self):
+        # n = 5, time = 1: the threshold is #1 > n - time = 4.
+        assert BasicProtocol(2).act(state(time=1, count_ones=5)) == DECIDE_1
+        assert BasicProtocol(2).act(state(time=1, count_ones=4)) == NOOP
+
+    def test_threshold_loosens_over_time(self):
+        protocol = BasicProtocol(2)
+        assert protocol.act(state(time=2, count_ones=4)) == DECIDE_1
+        assert protocol.act(state(time=3, count_ones=3)) == DECIDE_1
+        assert protocol.act(state(time=3, count_ones=2)) == NOOP
+
+    def test_decides_one_on_jd_one(self):
+        assert BasicProtocol(2).act(state(time=2, jd=1)) == DECIDE_1
+
+    def test_zero_rule_beats_one_rule(self):
+        assert BasicProtocol(2).act(state(time=2, jd=0, count_ones=5)) == DECIDE_0
+
+    def test_noop_after_decision(self):
+        assert BasicProtocol(2).act(state(decided=1, time=3, count_ones=5)) == NOOP
+
+    def test_initial_all_ones_does_not_decide_in_round_one(self):
+        # At time 0 the counter is 0 and 0 > n - 0 is false.
+        assert BasicProtocol(2).act(state(time=0, count_ones=0)) == NOOP
+
+
+class TestConfiguration:
+    def test_exchange_is_basic(self):
+        assert isinstance(BasicProtocol(1).make_exchange(4), BasicExchange)
+
+    def test_requires_basic_states(self):
+        plain = LocalState(agent=0, n=4, time=0, init=1, decided=None, jd=None)
+        with pytest.raises(ProtocolError):
+            BasicProtocol(1).act(plain)

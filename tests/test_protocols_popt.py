@@ -1,0 +1,138 @@
+"""Unit tests for P_opt, the polynomial-time optimal full-information protocol."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.exchange import FullInformationExchange
+from repro.exchange.fip import FipLocalState
+from repro.failures import FailurePattern, silent_adversary
+from repro.protocols import DecisionOracle, OptimalFipProtocol, UNKNOWN
+from repro.simulation import simulate
+from repro.spec import check_eba
+from repro.workloads import all_ones, example_7_1, hidden_chain_scenario
+
+
+class TestBasicBehaviour:
+    def test_decides_zero_immediately_with_initial_zero(self):
+        trace = simulate(OptimalFipProtocol(1), 4, [0, 1, 1, 1])
+        assert trace.decision_round(0) == 1
+        assert trace.decision_value(0) == 0
+
+    def test_failure_free_all_ones_decides_in_round_two(self):
+        trace = simulate(OptimalFipProtocol(2), 6, all_ones(6))
+        assert all(trace.decision_round(agent) == 2 for agent in range(6))
+        assert all(trace.decision_value(agent) == 1 for agent in range(6))
+
+    def test_zero_propagates_through_chain(self):
+        preferences, pattern = hidden_chain_scenario(6, chain_length=2)
+        trace = simulate(OptimalFipProtocol(3), 6, preferences, pattern)
+        assert trace.decision_value(2) == 0
+        assert trace.decision_round(2) == 3
+        assert check_eba(trace).ok
+
+    def test_exchange_is_full_information(self):
+        assert isinstance(OptimalFipProtocol(1).make_exchange(4), FullInformationExchange)
+
+    def test_rejects_non_fip_states(self):
+        from repro.exchange.base import LocalState
+
+        plain = LocalState(agent=0, n=4, time=0, init=1, decided=None, jd=None)
+        with pytest.raises(ProtocolError):
+            OptimalFipProtocol(1).act(plain)
+
+    def test_rejects_inconsistent_graph_time(self):
+        exchange = FullInformationExchange(3)
+        state = exchange.initial_state(0, 1)
+        broken = FipLocalState(agent=0, n=3, time=2, init=1, decided=None, jd=None,
+                               graph=state.graph)
+        with pytest.raises(ProtocolError):
+            OptimalFipProtocol(1).act(broken)
+
+
+class TestCommonKnowledgeRule:
+    def test_example_7_1_decides_in_round_three(self):
+        preferences, pattern = example_7_1(n=8, t=4)
+        trace = simulate(OptimalFipProtocol(4), 8, preferences, pattern)
+        for agent in sorted(pattern.nonfaulty):
+            assert trace.decision_round(agent) == 3
+            assert trace.decision_value(agent) == 1
+
+    def test_without_common_knowledge_rule_waits_until_deadline(self):
+        preferences, pattern = example_7_1(n=8, t=4)
+        ablated = OptimalFipProtocol(4, use_common_knowledge=False)
+        trace = simulate(ablated, 8, preferences, pattern)
+        for agent in sorted(pattern.nonfaulty):
+            assert trace.decision_round(agent) == 4 + 2
+
+    def test_partial_exposure_uses_chain_counting_not_common_knowledge(self):
+        # Only one of the t = 2 allowed faulty agents is silent, so the faulty
+        # set is not pinned down and the common-knowledge shortcut cannot fire.
+        # Full information still lets agents rule out a hidden 0-chain one
+        # round early (a chain hidden at time 2 would need two distinct stale
+        # agents, and only the silent one is stale), so P_opt decides in round
+        # 3 via the chain-counting rule whether or not the common-knowledge
+        # rules are enabled, while P_min must wait for its t + 2 deadline.
+        from repro.protocols import MinProtocol
+
+        n, t = 6, 2
+        pattern = silent_adversary(n, faulty=[0], horizon=t + 3)
+        for fip in (OptimalFipProtocol(t), OptimalFipProtocol(t, use_common_knowledge=False)):
+            trace = simulate(fip, n, all_ones(n), pattern)
+            for agent in sorted(pattern.nonfaulty):
+                assert trace.decision_round(agent) == 3
+        min_trace = simulate(MinProtocol(t), n, all_ones(n), pattern)
+        for agent in sorted(pattern.nonfaulty):
+            assert min_trace.decision_round(agent) == t + 2
+
+    def test_common_knowledge_rule_satisfies_spec(self):
+        preferences, pattern = example_7_1(n=7, t=3)
+        trace = simulate(OptimalFipProtocol(3), 7, preferences, pattern)
+        assert check_eba(trace, deadline=5, validity_for_faulty=True).ok
+
+
+class TestDecisionOracle:
+    def make_trace(self, n=5, t=2, preferences=None, pattern=None, horizon=3):
+        if preferences is None:
+            preferences = [0, 1, 1, 1, 1]
+        return simulate(OptimalFipProtocol(t), n, preferences, pattern, horizon=horizon)
+
+    def test_reconstructs_other_agents_decisions(self):
+        trace = self.make_trace()
+        state = trace.state_of(1, 2)
+        oracle = DecisionOracle(state.graph, anchor=1, anchor_time=2, t=2)
+        # Agent 0 decided 0 in round 1 (time 0); agent 1 knows it.
+        assert oracle.known_decision(0, 0) == 0
+        # Agent 2 decided 0 in round 2 (time 1); agent 1 knows that too.
+        assert oracle.known_decision(2, 1) == 0
+        # Nobody decides at negative times.
+        assert oracle.known_decision(0, -1) is None
+
+    def test_unknown_outside_the_cone(self):
+        pattern = FailurePattern.silent(5, faulty=[4], horizon=4)
+        trace = self.make_trace(pattern=pattern)
+        state = trace.state_of(1, 2)
+        oracle = DecisionOracle(state.graph, anchor=1, anchor_time=2, t=2)
+        assert oracle.known_decision(4, 1) is UNKNOWN
+
+    def test_own_current_action_is_unknown(self):
+        trace = self.make_trace()
+        state = trace.state_of(1, 1)
+        oracle = DecisionOracle(state.graph, anchor=1, anchor_time=1, t=2)
+        assert oracle.known_decision(1, 1) is UNKNOWN
+
+    def test_reconstruction_matches_actual_run(self):
+        # Every decision the oracle attributes to an agent must match what the
+        # agent actually did in the simulated run.
+        preferences, pattern = hidden_chain_scenario(6, chain_length=2)
+        trace = simulate(OptimalFipProtocol(3), 6, preferences, pattern, horizon=5)
+        for observer in range(6):
+            state = trace.state_of(observer, 4)
+            oracle = DecisionOracle(state.graph, anchor=observer, anchor_time=4, t=3)
+            for agent in range(6):
+                for time in range(4):
+                    known = oracle.known_decision(agent, time)
+                    if known is UNKNOWN or known is None:
+                        continue
+                    action = trace.action_of(agent, time)
+                    assert action.is_decision and action.value == known

@@ -1,0 +1,51 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.reporting import format_comparison, format_histogram, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [{"protocol": "P_min", "bits": 25}, {"protocol": "P_basic", "bits": 120}]
+        text = format_table(rows, title="bits")
+        lines = text.splitlines()
+        assert lines[0] == "bits"
+        assert "protocol" in lines[2]
+        assert "P_min" in text and "P_basic" in text
+        # Header and rows have the same width.
+        assert len(lines[2]) == len(lines[4])
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows)
+        assert "b" in text.splitlines()[0]
+
+    def test_column_order_override(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_floats_rendered_compactly(self):
+        text = format_table([{"x": 1.5}])
+        assert "1.5" in text
+
+    def test_none_renders_blank(self):
+        text = format_table([{"x": None, "y": 1}])
+        assert "None" not in text
+
+
+class TestComparisonAndHistogram:
+    def test_format_comparison(self):
+        line = format_comparison("bits", 25, 25, matches=True)
+        assert line.startswith("[OK]")
+        line = format_comparison("bits", 25, 26, matches=False)
+        assert line.startswith("[MISMATCH]")
+
+    def test_format_histogram(self):
+        text = format_histogram({2: 5, 1: 1})
+        lines = text.splitlines()
+        assert lines[0].startswith("round   1")
+        assert "#" in lines[1]
+
+    def test_empty_histogram(self):
+        assert format_histogram({}) == "(empty)"

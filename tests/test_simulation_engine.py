@@ -1,0 +1,105 @@
+"""Unit tests for the synchronous simulation engine."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, ProtocolError
+from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.exchange import DecideNotification
+from repro.failures import FailurePattern
+from repro.protocols import BasicProtocol, MinProtocol, OptimalFipProtocol
+from repro.protocols.base import ActionProtocol
+from repro.simulation import simulate, step
+
+
+class TestSimulate:
+    def test_deterministic(self):
+        a = simulate(MinProtocol(1), 4, [0, 1, 1, 1])
+        b = simulate(MinProtocol(1), 4, [0, 1, 1, 1])
+        assert a.decisions() == b.decisions()
+        assert [r.actions for r in a.rounds] == [r.actions for r in b.rounds]
+
+    def test_stops_when_everyone_decided(self):
+        trace = simulate(MinProtocol(1), 4, [0, 1, 1, 1])
+        assert trace.all_decided()
+        assert trace.horizon == 2
+
+    def test_explicit_horizon_is_respected(self):
+        trace = simulate(MinProtocol(1), 4, [0, 1, 1, 1], horizon=5)
+        assert trace.horizon == 5
+
+    def test_defaults_to_failure_free(self):
+        trace = simulate(MinProtocol(1), 4, [1, 1, 1, 1])
+        assert trace.pattern == FailurePattern.failure_free(4)
+
+    def test_rejects_mismatched_pattern_size(self):
+        with pytest.raises(ConfigurationError):
+            simulate(MinProtocol(1), 4, [1, 1, 1, 1], FailurePattern.failure_free(5))
+
+    def test_rejects_bad_preferences(self):
+        with pytest.raises(ValueError):
+            simulate(MinProtocol(1), 4, [1, 1, 1])
+
+    def test_rejects_t_not_below_n(self):
+        with pytest.raises(ConfigurationError):
+            simulate(MinProtocol(4), 4, [1, 1, 1, 1])
+
+    def test_non_terminating_protocol_raises(self):
+        class StallingProtocol(ActionProtocol):
+            name = "P_stall"
+
+            def make_exchange(self, n):
+                return MinProtocol(self.t).make_exchange(n)
+
+            def act(self, state):
+                return NOOP
+
+        with pytest.raises(ProtocolError):
+            simulate(StallingProtocol(1), 3, [1, 1, 1])
+
+    def test_omissions_suppress_delivery_but_not_sending(self):
+        pattern = FailurePattern.from_blocked(3, [(0, 0, 1)])
+        trace = simulate(MinProtocol(1), 3, [0, 1, 1], pattern, horizon=3)
+        record = trace.rounds[0]
+        assert record.sent[0][1] == DecideNotification(0)
+        assert record.delivered[1][0] is None
+        assert record.delivered[2][0] == DecideNotification(0)
+
+    def test_messages_to_self_are_delivered(self):
+        trace = simulate(BasicProtocol(1), 3, [1, 1, 1], horizon=1)
+        record = trace.rounds[0]
+        assert record.delivered[0][0] is not None
+
+    def test_round_record_round_numbering(self):
+        trace = simulate(MinProtocol(1), 3, [0, 1, 1])
+        assert [record.round_number for record in trace.rounds] == [1, 2]
+
+
+class TestStep:
+    def test_single_step_updates_all_states(self):
+        protocol = MinProtocol(1)
+        exchange = protocol.make_exchange(3)
+        states = [exchange.initial_state(agent, init) for agent, init in enumerate([0, 1, 1])]
+        new_states, record = step(exchange, protocol, states, FailurePattern.failure_free(3), 0)
+        assert all(state.time == 1 for state in new_states)
+        assert record.actions[0] == DECIDE_0
+        assert record.actions[1] == NOOP
+
+    def test_bits_by_sender_accounting(self):
+        protocol = MinProtocol(1)
+        exchange = protocol.make_exchange(3)
+        states = [exchange.initial_state(agent, init) for agent, init in enumerate([0, 1, 1])]
+        _, record = step(exchange, protocol, states, FailurePattern.failure_free(3), 0)
+        # Agent 0 decides and broadcasts a 1-bit message to 3 agents; others silent.
+        assert record.bits_by_sender == (3, 0, 0)
+
+
+class TestFipSimulation:
+    def test_fip_trace_records_graph_growth(self):
+        trace = simulate(OptimalFipProtocol(1), 3, [1, 1, 1], horizon=2)
+        assert trace.state_of(0, 0).graph.time == 0
+        assert trace.state_of(0, 2).graph.time == 2
+
+    def test_fip_decisions_recorded_in_state(self):
+        trace = simulate(OptimalFipProtocol(1), 3, [1, 1, 1])
+        final_time = trace.horizon
+        assert all(trace.state_of(agent, final_time).decided == 1 for agent in range(3))

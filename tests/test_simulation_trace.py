@@ -1,0 +1,83 @@
+"""Unit tests for RunTrace bookkeeping."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.failures import FailurePattern
+from repro.protocols import BasicProtocol, MinProtocol
+from repro.simulation import simulate
+
+
+@pytest.fixture
+def trace():
+    """A 4-agent run of P_min where agent 3 starts with 0 and agent 0 is silent-faulty."""
+    pattern = FailurePattern.silent(4, faulty=[0], horizon=4)
+    return simulate(MinProtocol(1), 4, [1, 1, 1, 0], pattern)
+
+
+class TestStates:
+    def test_state_of_time_zero_is_initial(self, trace):
+        assert trace.state_of(2, 0) == trace.initial_states[2]
+
+    def test_state_of_rejects_out_of_range(self, trace):
+        with pytest.raises(ReproError):
+            trace.state_of(0, trace.horizon + 1)
+
+    def test_states_at_matches_state_of(self, trace):
+        for time in range(trace.horizon + 1):
+            assert trace.states_at(time) == tuple(trace.state_of(a, time) for a in range(4))
+
+
+class TestDecisions:
+    def test_decision_round_and_value(self, trace):
+        assert trace.decision_round(3) == 1
+        assert trace.decision_value(3) == 0
+        assert trace.decision_value(1) == 0
+
+    def test_decisions_mapping(self, trace):
+        decisions = trace.decisions()
+        assert decisions[3] == (1, 0)
+        assert set(decisions) == {0, 1, 2, 3}
+
+    def test_all_decided_flags(self, trace):
+        assert trace.all_decided()
+        assert trace.all_nonfaulty_decided()
+        assert trace.decided_agents() == frozenset({0, 1, 2, 3})
+
+    def test_last_decision_round(self, trace):
+        assert trace.last_decision_round() == 2
+        assert trace.last_decision_round(nonfaulty_only=True) == 2
+
+    def test_undecided_agent_reports_none(self):
+        trace = simulate(MinProtocol(1), 3, [1, 1, 1], horizon=1)
+        assert trace.decision_round(0) is None
+        assert trace.decision_value(0) is None
+        assert trace.last_decision_round() is None
+        assert not trace.all_decided()
+
+
+class TestAccounting:
+    def test_pmin_bits_equal_n_squared(self):
+        trace = simulate(MinProtocol(1), 5, [0, 1, 1, 1, 1])
+        assert trace.total_bits(include_self=True) == 25
+        assert trace.total_bits(include_self=False) == 20
+
+    def test_message_count_vs_bits_for_basic(self):
+        trace = simulate(BasicProtocol(1), 4, [1, 1, 1, 1])
+        # Heartbeats are 2 bits, decide notifications 1 bit, so bits > messages.
+        assert trace.total_bits() > trace.total_messages()
+
+    def test_delivered_message_lookup(self, trace):
+        # Agent 3 decides 0 in round 1 and its message reaches agent 1.
+        message = trace.delivered_message(0, 3, 1)
+        assert message is not None
+        # Agent 0 is silent: nothing is delivered from it.
+        assert trace.delivered_message(0, 0, 1) is None
+
+
+class TestSummary:
+    def test_summary_mentions_protocol_and_decisions(self, trace):
+        text = trace.summary()
+        assert "P_min" in text
+        assert "faulty=[0]" in text
+        assert "→0" in text

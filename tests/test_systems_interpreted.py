@@ -1,0 +1,97 @@
+"""Unit tests for interpreted systems and context descriptors."""
+
+import pytest
+
+from repro.failures import SendingOmissionModel
+from repro.protocols import BasicProtocol, MinProtocol
+from repro.systems import (
+    Point,
+    build_system,
+    build_system_for_model,
+    gamma_basic,
+    gamma_fip,
+    gamma_min,
+)
+
+
+class TestBuildSystem:
+    def test_runs_cover_patterns_times_preferences(self):
+        model = SendingOmissionModel(n=3, t=1)
+        patterns = list(model.enumerate(horizon=1))
+        system = build_system(MinProtocol(1), 3, horizon=1, patterns=patterns)
+        assert len(system.runs) == len(patterns) * 8
+        assert system.horizon == 1
+        assert system.protocol_name == "P_min"
+
+    def test_points_enumerate_all_times(self):
+        model = SendingOmissionModel(n=3, t=0)
+        system = build_system_for_model(MinProtocol(0), model, horizon=2)
+        assert len(system.points) == len(system.runs) * 3
+        assert Point(0, 0) in system.points
+
+    def test_local_state_lookup(self):
+        model = SendingOmissionModel(n=3, t=0)
+        system = build_system_for_model(MinProtocol(0), model, horizon=2)
+        state = system.local_state(Point(0, 1), 2)
+        assert state.time == 1
+        assert state.agent == 2
+
+    def test_nonfaulty_lookup(self):
+        model = SendingOmissionModel(n=3, t=1)
+        system = build_system_for_model(MinProtocol(1), model, horizon=1)
+        for run_index, run in enumerate(system.runs):
+            assert system.nonfaulty(Point(run_index, 0)) == run.nonfaulty
+
+
+class TestEquivalenceClasses:
+    def test_classes_partition_points(self):
+        model = SendingOmissionModel(n=3, t=1)
+        system = build_system_for_model(MinProtocol(1), model, horizon=1)
+        classes = system.equivalence_classes(0)
+        covered = [point for points in classes.values() for point in points]
+        assert sorted(covered) == sorted(system.points)
+
+    def test_indistinguishable_points_share_local_state(self):
+        model = SendingOmissionModel(n=3, t=1)
+        system = build_system_for_model(MinProtocol(1), model, horizon=1)
+        point = Point(3, 1)
+        peers = system.indistinguishable(1, point)
+        assert point in peers
+        state = system.local_state(point, 1)
+        assert all(system.local_state(peer, 1) == state for peer in peers)
+
+    def test_synchrony_keeps_times_separate(self):
+        model = SendingOmissionModel(n=3, t=1)
+        system = build_system_for_model(MinProtocol(1), model, horizon=2)
+        for agent in range(3):
+            for points in system.equivalence_classes(agent).values():
+                assert len({point.time for point in points}) == 1
+
+
+class TestContexts:
+    def test_gamma_min_defaults(self):
+        context = gamma_min(4, 1)
+        assert context.n == 4
+        assert context.t == 1
+        assert context.horizon == 3
+        assert context.name == "gamma_min"
+        assert "gamma_min" in repr(context)
+
+    def test_gamma_basic_and_fip_names(self):
+        assert gamma_basic(3, 1).name == "gamma_basic"
+        assert gamma_fip(3, 1).name == "gamma_fip"
+
+    def test_context_builds_system_for_protocol(self):
+        context = gamma_basic(3, 1, horizon=2, max_faulty_enumerated=0)
+        system = context.build_system(BasicProtocol(1))
+        assert system.protocol_name == "P_basic"
+        assert len(system.runs) == 8
+
+    def test_max_faulty_cap_restricts_patterns(self):
+        capped = gamma_min(3, 1, max_faulty_enumerated=0)
+        assert len(list(capped.patterns())) == 1
+        uncapped = gamma_min(3, 1)
+        assert len(list(uncapped.patterns())) > 1
+
+    def test_explicit_horizon_override(self):
+        assert gamma_min(3, 1, horizon=5).horizon == 5
