@@ -1,0 +1,50 @@
+"""Benchmark — SerialExecutor vs ParallelExecutor on a 500-scenario sweep.
+
+Not a table from the paper: this measures the orchestration layer itself.  The
+same declarative :class:`~repro.api.SweepSpec` (``P_min`` and ``P_basic`` over
+500 random ``SO(t)`` scenarios — 1000 runs) executes on both backends, and the
+executor-equivalence contract is asserted on the way: the parallel backend
+must produce a :class:`~repro.api.ResultSet` identical to the serial one, in
+the same scenario order.
+
+On a single-core box the process pool is pure overhead (fork + pickle); the
+benchmark exists to document that overhead honestly and to show the speed-up
+once real cores are available.  Results land in the standard pytest-benchmark
+JSON via ``--benchmark-json``, same as every other file in this directory.
+"""
+
+import pytest
+
+from repro.api import ParallelExecutor, SerialExecutor, Sweep
+from repro.protocols import BasicProtocol, MinProtocol
+from repro.workloads import random_scenarios
+
+SCENARIO_COUNT = 500
+
+
+@pytest.fixture(scope="module")
+def sweep_spec():
+    """The shared 500-scenario spec (built once; specs are frozen and reusable)."""
+    return (Sweep.of(MinProtocol(2), BasicProtocol(2))
+            .on(random_scenarios(6, 2, count=SCENARIO_COUNT, seed=5))
+            .build())
+
+
+@pytest.fixture(scope="module")
+def serial_results(sweep_spec):
+    """Reference results, computed once, for the equivalence assertions."""
+    return sweep_spec.run(SerialExecutor())
+
+
+def test_bench_serial_sweep(benchmark, sweep_spec, serial_results):
+    results = benchmark.pedantic(sweep_spec.run, args=(SerialExecutor(),),
+                                 rounds=1, iterations=1)
+    assert len(results) == SCENARIO_COUNT
+    assert results == serial_results
+
+
+def test_bench_parallel_sweep(benchmark, sweep_spec, serial_results):
+    results = benchmark.pedantic(sweep_spec.run, args=(ParallelExecutor(),),
+                                 rounds=1, iterations=1)
+    assert len(results) == SCENARIO_COUNT
+    assert results == serial_results

@@ -5,24 +5,30 @@ simulator and the polynomial-time ``P_opt`` decision procedure scale with the
 number of agents, which is what limits reproducing Example 7.1 at its original
 size in pure Python (the repro band notes "easy simulation; slow for large
 node counts").
+
+The benchmarks drive the simulator through :class:`repro.api.RunSpec`, the
+declarative single-run entry point of the orchestration layer (see
+``bench_parallel_sweep.py`` for the batched executor backends).
 """
 
 import pytest
 
+from repro.api import RunSpec
 from repro.protocols import BasicProtocol, MinProtocol, OptimalFipProtocol
-from repro.simulation import simulate
 from repro.workloads import all_ones, example_7_1, single_zero
 
 
 @pytest.mark.parametrize("n", [10, 20, 40])
 def test_bench_pmin_failure_free(benchmark, n):
-    trace = benchmark(simulate, MinProtocol(n // 4), n, single_zero(n))
+    spec = RunSpec(MinProtocol(n // 4), n, single_zero(n))
+    trace = benchmark(spec.run)
     assert trace.last_decision_round() == 2
 
 
 @pytest.mark.parametrize("n", [10, 20, 40])
 def test_bench_pbasic_all_ones(benchmark, n):
-    trace = benchmark(simulate, BasicProtocol(n // 4), n, all_ones(n))
+    spec = RunSpec(BasicProtocol(n // 4), n, all_ones(n))
+    trace = benchmark(spec.run)
     assert trace.last_decision_round() == 2
 
 
@@ -30,6 +36,6 @@ def test_bench_pbasic_all_ones(benchmark, n):
 def test_bench_popt_silent_faulty(benchmark, n):
     t = n // 2 - 1
     preferences, pattern = example_7_1(n=n, t=t)
-    trace = benchmark.pedantic(simulate, args=(OptimalFipProtocol(t), n, preferences, pattern),
-                               rounds=1, iterations=1)
+    spec = RunSpec(OptimalFipProtocol(t), n, preferences, pattern)
+    trace = benchmark.pedantic(spec.run, rounds=1, iterations=1)
     assert trace.last_decision_round(nonfaulty_only=True) == 3

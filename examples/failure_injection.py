@@ -14,7 +14,14 @@ This example exercises the failure substrate directly:
 Run it with:  ``python examples/failure_injection.py``
 """
 
-from repro import MinProtocol, NaiveZeroBiasedProtocol, OptimalFipProtocol, check_eba, simulate
+from repro import (
+    MinProtocol,
+    NaiveZeroBiasedProtocol,
+    OptimalFipProtocol,
+    RunSpec,
+    Sweep,
+    check_eba,
+)
 from repro.analysis import longest_zero_chain, zero_chains
 from repro.experiments import agreement_violation
 from repro.failures import random_omission_adversaries
@@ -28,7 +35,7 @@ def intro_counterexample_demo() -> None:
     n, t = 4, 1
     preferences, pattern = intro_counterexample(n=n, t=t)
     for protocol in (NaiveZeroBiasedProtocol(t), MinProtocol(t)):
-        trace = simulate(protocol, n, preferences, pattern)
+        trace = RunSpec(protocol, n, preferences, pattern).run()
         report = check_eba(trace)
         decisions = {agent: trace.decision_value(agent) for agent in sorted(trace.nonfaulty)}
         print(f"{protocol.name:>10}: nonfaulty decisions {decisions} -> "
@@ -45,7 +52,7 @@ def hidden_chain_demo() -> None:
     n, t = 7, 3
     preferences, pattern = hidden_chain_scenario(n, chain_length=2)
     for protocol in (MinProtocol(t), OptimalFipProtocol(t)):
-        trace = simulate(protocol, n, preferences, pattern)
+        trace = RunSpec(protocol, n, preferences, pattern).run()
         print(f"{protocol.name:>10}: decisions "
               f"{ {a: (trace.decision_round(a), trace.decision_value(a)) for a in range(n)} }")
         print(f"{'':>12}longest 0-chain in the run: {longest_zero_chain(trace)}")
@@ -60,12 +67,15 @@ def random_adversaries_demo() -> None:
     adversaries = random_omission_adversaries(n, t, horizon=t + 3, count=count, seed=42)
     preferences = random_preferences(n, count, seed=43)
     protocol = MinProtocol(t)
+    # One declarative sweep replaces the hand-rolled loop; the workload is the
+    # zip of random preferences and random adversaries.
+    results = (Sweep.of(protocol)
+               .on(list(zip(preferences, adversaries)))
+               .run())
+    reports = results.check_eba(deadline=t + 2, validity_for_faulty=True)
+    all_ok = all(report.ok for report in reports[protocol.name])
     worst_round = 0
-    all_ok = True
-    for prefs, pattern in zip(preferences, adversaries):
-        trace = simulate(protocol, n, prefs, pattern)
-        report = check_eba(trace, deadline=t + 2, validity_for_faulty=True)
-        all_ok &= report.ok
+    for trace in results[protocol.name]:
         last = trace.last_decision_round()
         worst_round = max(worst_round, last or 0)
         if zero_chains(trace):

@@ -13,21 +13,48 @@ The package implements, from scratch:
   full-information protocol ``P_opt`` (:mod:`repro.protocols`);
 * the knowledge-based programs ``P0`` and ``P1`` and implementation checking
   (:mod:`repro.kbp`);
-* a synchronous simulator, EBA specification checkers, and the analyses used
-  by the paper's Section 8 cost comparison (:mod:`repro.simulation`,
-  :mod:`repro.spec`, :mod:`repro.analysis`);
+* a synchronous simulator and the declarative orchestration layer that drives
+  it serially or over a process pool (:mod:`repro.simulation`,
+  :mod:`repro.api`), EBA specification checkers, and the analyses used by the
+  paper's Section 8 cost comparison (:mod:`repro.spec`, :mod:`repro.analysis`);
 * the experiments that regenerate every quantitative claim of the paper
   (:mod:`repro.experiments`).
 
 Quickstart
 ----------
 
->>> from repro import MinProtocol, simulate, check_eba
->>> trace = simulate(MinProtocol(t=1), n=4, preferences=[0, 1, 1, 1])
+Describe *what* to run with a spec, then execute it:
+
+>>> from repro import MinProtocol, RunSpec, check_eba
+>>> trace = RunSpec(MinProtocol(t=1), n=4, preferences=(0, 1, 1, 1)).run()
 >>> check_eba(trace).ok
 True
 >>> trace.decision_value(1)
 0
+
+Sweeps run several protocols over a whole workload — on all cores, if asked:
+
+>>> from repro import OptimalFipProtocol, ParallelExecutor, Sweep
+>>> from repro.workloads import random_scenarios
+>>> results = (Sweep.of(MinProtocol(t=1), OptimalFipProtocol(t=1))
+...            .on(random_scenarios(n=4, t=1, count=10))
+...            .run(ParallelExecutor()))
+>>> results.compare("P_opt", "P_min").first_dominates
+True
+
+Migrating from the legacy entry points
+--------------------------------------
+
+The pre-``repro.api`` functions still work but emit ``DeprecationWarning``:
+
+* ``simulate(P, n, prefs, pattern)``      → ``RunSpec(P, n, prefs, pattern).run()``
+* ``run_protocol(P, n, prefs, pattern)``  → ``RunSpec(P, n, prefs, pattern).run()``
+* ``run_batch(P, n, scenarios)``          → ``Sweep.of(P).on(scenarios).run().batch(P.name)``
+* ``corresponding_runs(Ps, n, p, f)``     → ``Sweep.of(*Ps).on([(p, f)]).run().corresponding(0)``
+* ``sweep(Ps, n, scenarios)``             → ``Sweep.of(*Ps).on(scenarios).run().batches()``
+
+(The low-level engine primitive is still available, non-deprecated, as
+:func:`repro.simulation.engine.simulate`.)
 """
 
 from .core import (
@@ -64,7 +91,23 @@ from .protocols import (
     NaiveZeroBiasedProtocol,
     OptimalFipProtocol,
 )
-from .simulation import RunTrace, corresponding_runs, run_batch, run_protocol, simulate
+from .simulation import RoundRecord, RunTrace
+from .simulation.runner import (  # deprecated shims over repro.api
+    corresponding_runs,
+    run_batch,
+    run_protocol,
+    simulate,
+    sweep,
+)
+from .api import (
+    Executor,
+    ParallelExecutor,
+    ResultSet,
+    RunSpec,
+    SerialExecutor,
+    Sweep,
+    SweepSpec,
+)
 from .spec import SpecReport, check_eba, require_eba
 from .analysis import (
     DominanceResult,
@@ -74,7 +117,7 @@ from .analysis import (
     zero_chains,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Action",
@@ -90,6 +133,7 @@ __all__ = [
     "DelayedMinProtocol",
     "DominanceResult",
     "EagerOneProtocol",
+    "Executor",
     "FailureFreeModel",
     "FailurePattern",
     "FullInformationExchange",
@@ -98,11 +142,18 @@ __all__ = [
     "NOOP",
     "NaiveZeroBiasedProtocol",
     "OptimalFipProtocol",
+    "ParallelExecutor",
     "ProtocolError",
     "ReproError",
+    "ResultSet",
+    "RoundRecord",
+    "RunSpec",
     "RunTrace",
     "SendingOmissionModel",
+    "SerialExecutor",
     "SpecReport",
+    "Sweep",
+    "SweepSpec",
     "Value",
     "check_eba",
     "compare_protocols",
@@ -115,6 +166,7 @@ __all__ = [
     "run_protocol",
     "silent_adversary",
     "simulate",
+    "sweep",
     "zero_chains",
     "__version__",
 ]

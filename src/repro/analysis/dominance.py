@@ -18,13 +18,16 @@ baseline).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..core.types import AgentId
 from ..failures.pattern import FailurePattern
 from ..protocols.base import ActionProtocol
-from ..simulation.runner import Scenario, corresponding_runs
+from ..simulation.runner import Scenario
 from ..simulation.trace import RunTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.executors import Executor
 
 
 @dataclass(frozen=True)
@@ -157,7 +160,8 @@ def compare_traces(first: Sequence[RunTrace], second: Sequence[RunTrace]) -> Dom
 
 def compare_protocols(first: ActionProtocol, second: ActionProtocol, n: int,
                       scenarios: Iterable[Scenario],
-                      horizon: Optional[int] = None) -> DominanceResult:
+                      horizon: Optional[int] = None,
+                      executor: Optional["Executor"] = None) -> DominanceResult:
     """Run both protocols over the scenarios and compare decision times.
 
     Note that the two protocols may use *different* information-exchange
@@ -166,29 +170,19 @@ def compare_protocols(first: ActionProtocol, second: ActionProtocol, n: int,
     full-information settings, and is coarser than the paper's
     per-information-exchange optimality notion.
     """
-    traces_first: List[RunTrace] = []
-    traces_second: List[RunTrace] = []
-    for preferences, pattern in scenarios:
-        runs = corresponding_runs([first, second], n, preferences, pattern, horizon=horizon)
-        traces_first.append(runs[first.name])
-        traces_second.append(runs[second.name])
-    return compare_traces(traces_first, traces_second)
+    from ..api import run_sweep
+    results = run_sweep([first, second], scenarios, n=n, horizon=horizon,
+                        executor=executor)
+    return results.compare(first.name, second.name)
 
 
 def pairwise_comparison(protocols: Sequence[ActionProtocol], n: int,
                         scenarios: Sequence[Scenario],
-                        horizon: Optional[int] = None) -> Dict[Tuple[str, str], DominanceResult]:
+                        horizon: Optional[int] = None,
+                        executor: Optional["Executor"] = None,
+                        ) -> Dict[Tuple[str, str], DominanceResult]:
     """All pairwise dominance results over a shared workload."""
-    results: Dict[Tuple[str, str], DominanceResult] = {}
-    cached: Dict[str, List[RunTrace]] = {protocol.name: [] for protocol in protocols}
-    scenario_list = list(scenarios)
-    for preferences, pattern in scenario_list:
-        runs = corresponding_runs(list(protocols), n, preferences, pattern, horizon=horizon)
-        for protocol in protocols:
-            cached[protocol.name].append(runs[protocol.name])
-    for i, protocol_a in enumerate(protocols):
-        for protocol_b in protocols[i + 1:]:
-            results[(protocol_a.name, protocol_b.name)] = compare_traces(
-                cached[protocol_a.name], cached[protocol_b.name]
-            )
-    return results
+    from ..api import run_sweep
+    results = run_sweep(list(protocols), scenarios, n=n, horizon=horizon,
+                        executor=executor)
+    return results.pairwise()

@@ -1,0 +1,105 @@
+"""``repro.api`` — the unified experiment-orchestration layer.
+
+This package is the single way runs are specified and executed.  It separates
+three concerns that the legacy entry points (``simulate`` / ``run_protocol`` /
+``run_batch`` / ``corresponding_runs`` / ``sweep``) each re-wired by hand:
+
+* **What to run** — :class:`RunSpec` and :class:`SweepSpec`, frozen declarative
+  descriptions of runs (protocols, system size, workload, horizon, seed),
+  built directly or through the fluent :class:`Sweep` builder;
+* **How to run it** — the :class:`Executor` backends: :class:`SerialExecutor`
+  (in-process) and :class:`ParallelExecutor` (process pool), both honouring
+  the same deterministic task→trace ordering;
+* **What comes back** — :class:`ResultSet`, which plugs into the analysis
+  (:meth:`~ResultSet.compare`, :meth:`~ResultSet.pairwise`), specification
+  (:meth:`~ResultSet.check_eba`), and reporting (:meth:`~ResultSet.table`)
+  layers, and can still be viewed through the legacy ``BatchResult`` /
+  dict-of-traces shapes.
+
+Typical usage::
+
+    from repro.api import ParallelExecutor, Sweep
+    from repro.protocols import MinProtocol, OptimalFipProtocol
+    from repro.workloads import random_scenarios
+
+    results = (Sweep.of(MinProtocol(t=2), OptimalFipProtocol(t=2))
+               .on(random_scenarios(n=7, t=2, count=500))
+               .with_horizon(5)
+               .run(ParallelExecutor()))
+    print(results.compare("P_opt", "P_min").summary())
+
+Migration from the legacy entry points
+--------------------------------------
+
+====================================  ====================================================
+Legacy call                           ``repro.api`` equivalent
+====================================  ====================================================
+``simulate(P, n, prefs, pat)``        ``RunSpec(P, n, prefs, pat).run()``
+``run_protocol(P, n, prefs, pat)``    ``RunSpec(P, n, prefs, pat).run()``
+``run_batch(P, n, scenarios)``        ``Sweep.of(P).on(scenarios).run().batch(P.name)``
+``corresponding_runs(Ps, n, p, f)``   ``Sweep.of(*Ps).on([(p, f)]).run().corresponding(0)``
+``sweep(Ps, n, scenarios)``           ``Sweep.of(*Ps).on(scenarios).run().batches()``
+====================================  ====================================================
+
+The legacy functions remain importable from :mod:`repro` as deprecated shims
+over this layer.
+"""
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..failures.pattern import FailurePattern
+from ..protocols.base import ActionProtocol
+from ..simulation.trace import RunTrace
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    RunTask,
+    SerialExecutor,
+    execute_task,
+    resolve_executor,
+)
+from .results import ResultSet
+from .specs import RunSpec, Scenario, Sweep, SweepSpec
+
+__all__ = [
+    "Executor",
+    "ParallelExecutor",
+    "ResultSet",
+    "RunSpec",
+    "RunTask",
+    "Scenario",
+    "SerialExecutor",
+    "Sweep",
+    "SweepSpec",
+    "corresponding",
+    "execute_task",
+    "resolve_executor",
+    "run",
+    "run_sweep",
+]
+
+
+def run(protocol: ActionProtocol, n: int, preferences: Sequence[int],
+        pattern: Optional[FailurePattern] = None,
+        horizon: Optional[int] = None,
+        executor: Optional[Executor] = None) -> RunTrace:
+    """Execute a single run (shorthand for ``RunSpec(...).run(executor)``)."""
+    return RunSpec(protocol=protocol, n=n, preferences=tuple(preferences),
+                   pattern=pattern, horizon=horizon).run(executor)
+
+
+def run_sweep(protocols: Sequence[ActionProtocol], scenarios: Iterable[Scenario],
+              n: Optional[int] = None, horizon: Optional[int] = None,
+              executor: Optional[Executor] = None) -> ResultSet:
+    """Execute a sweep (shorthand for ``Sweep.of(*protocols).on(...).run(executor)``)."""
+    return Sweep.of(*protocols).on(scenarios, n=n).with_horizon(horizon).run(executor)
+
+
+def corresponding(protocols: Sequence[ActionProtocol], n: int,
+                  preferences: Sequence[int], pattern: FailurePattern,
+                  horizon: Optional[int] = None,
+                  executor: Optional[Executor] = None) -> Dict[str, RunTrace]:
+    """Run several protocols on one initial global state; map name → trace."""
+    results = run_sweep(protocols, [(tuple(preferences), pattern)], n=n,
+                        horizon=horizon, executor=executor)
+    return results.corresponding(0)

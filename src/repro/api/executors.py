@@ -1,0 +1,128 @@
+"""Pluggable execution backends for run specs.
+
+An :class:`Executor` turns a sequence of *run tasks* — ``(protocol, n,
+preferences, pattern, horizon)`` tuples, the pure-data description of one call
+to the simulation engine — into the corresponding sequence of
+:class:`~repro.simulation.trace.RunTrace` objects, **in the same order**.  That
+ordering contract is what lets :meth:`repro.api.specs.SweepSpec.run` produce
+identical :class:`~repro.api.results.ResultSet` contents on every backend: the
+executor only decides *where* runs execute, never what the result looks like.
+
+Two backends are provided:
+
+* :class:`SerialExecutor` — runs everything in-process; the default.
+* :class:`ParallelExecutor` — fans tasks out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`; worthwhile for large sweeps
+  because every run is an independent, deterministic, CPU-bound simulation.
+
+Tasks and traces cross process boundaries by pickling, which every protocol,
+failure pattern, and trace in the library supports (they are plain dataclasses
+and plain classes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..core.errors import ConfigurationError
+from ..failures.pattern import FailurePattern
+from ..protocols.base import ActionProtocol
+from ..simulation.engine import simulate
+from ..simulation.trace import RunTrace
+
+#: The pure-data description of one simulation run:
+#: ``(protocol, n, preferences, pattern, horizon)``.
+RunTask = Tuple[ActionProtocol, int, Sequence[int], Optional[FailurePattern], Optional[int]]
+
+
+def execute_task(task: RunTask) -> RunTrace:
+    """Execute one run task with the simulation engine.
+
+    Module-level (rather than a method) so process-pool workers can import it
+    by qualified name when unpickling work items.
+    """
+    protocol, n, preferences, pattern, horizon = task
+    return simulate(protocol, n, preferences, pattern=pattern, horizon=horizon)
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """The execution-backend interface.
+
+    Implementations must return exactly one trace per task, in task order.
+    """
+
+    def run_tasks(self, tasks: Sequence[RunTask]) -> List[RunTrace]:  # pragma: no cover
+        ...
+
+
+class SerialExecutor:
+    """Run every task in the calling process, one after another."""
+
+    def run_tasks(self, tasks: Sequence[RunTask]) -> List[RunTrace]:
+        return [execute_task(task) for task in tasks]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan tasks out over a process pool, preserving task order.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-process count; defaults to ``os.cpu_count()``.
+    chunksize:
+        How many tasks each worker picks up at a time.  Defaults to a heuristic
+        (roughly ``len(tasks) / (4 * max_workers)``, at least 1) that amortises
+        pickling overhead on large sweeps.
+
+    Determinism
+    -----------
+    ``ProcessPoolExecutor.map`` yields results in submission order regardless
+    of which worker finishes first, and every simulation run is itself a pure
+    function of its task, so the returned traces are identical to
+    :class:`SerialExecutor`'s for any workload and any worker count.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 chunksize: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def _effective_workers(self) -> int:
+        return self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+
+    def run_tasks(self, tasks: Sequence[RunTask]) -> List[RunTrace]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = list(tasks)
+        workers = min(self._effective_workers(), max(1, len(tasks)))
+        if workers == 1 or len(tasks) <= 1:
+            # Nothing to parallelise: skip the pool (and its fork/pickle cost).
+            return [execute_task(task) for task in tasks]
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (4 * workers))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_task, tasks, chunksize=chunksize))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelExecutor(max_workers={self.max_workers}, chunksize={self.chunksize})"
+
+
+def resolve_executor(executor: Optional[Executor]) -> Executor:
+    """Default-resolve an executor argument (``None`` → :class:`SerialExecutor`)."""
+    if executor is None:
+        return SerialExecutor()
+    if not isinstance(executor, Executor):
+        raise ConfigurationError(
+            f"{executor!r} is not an Executor (needs a run_tasks(tasks) method)"
+        )
+    return executor

@@ -15,7 +15,12 @@ Examples
     repro-eba run --protocol opt --scenario example71 --n 10 --t 5
     repro-eba run --protocol min --n 5 --t 1 --preferences 0,1,1,1,1 --show-rounds
     repro-eba experiment e3 --n 12 --t 6
+    repro-eba experiment e4 --n 8 --t 3 --parallel --jobs 4
     repro-eba list
+
+Both commands execute through the :mod:`repro.api` orchestration layer;
+``--parallel`` switches the sweep-shaped experiments to the process-pool
+backend.
 """
 
 from __future__ import annotations
@@ -24,6 +29,8 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .api import Executor, ParallelExecutor, RunSpec, SerialExecutor
+from .core.errors import ReproError
 from .experiments import (
     agreement_violation,
     crash_comparison,
@@ -44,7 +51,6 @@ from .protocols.pbasic import BasicProtocol
 from .protocols.pmin import MinProtocol
 from .protocols.popt import OptimalFipProtocol
 from .reporting.trace_view import render_decision_timeline, render_run
-from .simulation.engine import simulate
 from .spec.eba import check_eba
 from .workloads import scenarios as scenario_lib
 
@@ -57,31 +63,48 @@ PROTOCOLS: Dict[str, Callable[[int], ActionProtocol]] = {
     "delayed": lambda t: DelayedMinProtocol(t, delay=1),
 }
 
-#: Experiment id -> (description, report callable taking (n, t)).
+#: Experiment id -> (description, report callable taking (n, t, executor)).
 EXPERIMENTS: Dict[str, tuple] = {
     "e1": ("Proposition 8.1 — bits sent per failure-free run",
-           lambda n, t: message_complexity.report(settings=((n, t),))),
+           lambda n, t, executor: message_complexity.report(settings=((n, t),),
+                                                            executor=executor)),
     "e2": ("Proposition 8.2 — failure-free decision rounds",
-           lambda n, t: decision_rounds.report(settings=((n, t),))),
+           lambda n, t, executor: decision_rounds.report(settings=((n, t),),
+                                                         executor=executor)),
     "e3": ("Example 7.1 — full-information advantage under silent failures",
-           lambda n, t: example_7_1.report(n=n, t=t)),
+           lambda n, t, executor: example_7_1.report(n=n, t=t, executor=executor)),
     "e4": ("Corollaries 6.7 / 7.8 — dominance over corresponding runs",
-           lambda n, t: dominance_study.report(n=n, t=t)),
+           lambda n, t, executor: dominance_study.report(n=n, t=t, executor=executor)),
     "e5": ("Proposition 6.1 — termination by round t + 2",
-           lambda n, t: termination_bound.report(n=n, t=t)),
+           lambda n, t, executor: termination_bound.report(n=n, t=t, executor=executor)),
     "e6": ("Introduction — the hear-about-0 counterexample",
-           lambda n, t: agreement_violation.report(sizes=((n, t),))),
+           lambda n, t, executor: agreement_violation.report(sizes=((n, t),),
+                                                             executor=executor)),
     "e7": ("Theorems 6.5 / 6.6 — implementation of the knowledge-based program P0",
-           lambda n, t: implementation_check.report(n=n, t=t)),
+           lambda n, t, executor: implementation_check.report(n=n, t=t, executor=executor)),
     "e8": ("Section 8 — decision-round gap between limited exchanges and the FIP",
-           lambda n, t: fip_gap.report(n=n, t=t)),
+           lambda n, t, executor: fip_gap.report(n=n, t=t, executor=executor)),
     "e9": ("Crash failures vs sending omissions (0-bias ablation)",
-           lambda n, t: crash_comparison.report(n=n, t=t)),
+           lambda n, t, executor: crash_comparison.report(n=n, t=t, executor=executor)),
     "e10": ("Optimality probe — one-step deviations of P_min / P_basic",
-            lambda n, t: optimality_probe.report(n=n, t=t)),
+            lambda n, t, executor: optimality_probe.report(n=n, t=t, executor=executor)),
     "e11": ("Proposition 6.4 — the Definition 6.2 safety condition",
-            lambda n, t: safety_check.report(n=n, t=t)),
+            lambda n, t, executor: safety_check.report(n=n, t=t, executor=executor)),
 }
+
+
+def _make_executor(args: argparse.Namespace) -> Optional[Executor]:
+    """Build the execution backend requested on the command line."""
+    if getattr(args, "parallel", False):
+        return ParallelExecutor(max_workers=getattr(args, "jobs", None))
+    return SerialExecutor()
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--parallel", action="store_true",
+                        help="execute runs on a process pool (repro.api.ParallelExecutor)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --parallel (default: all cores)")
 
 
 def _parse_preferences(text: str, n: int) -> List[int]:
@@ -123,7 +146,9 @@ def _build_scenario(args: argparse.Namespace) -> tuple:
 def _cmd_run(args: argparse.Namespace) -> int:
     protocol = PROTOCOLS[args.protocol](args.t)
     preferences, pattern = _build_scenario(args)
-    trace = simulate(protocol, args.n, preferences, pattern)
+    spec = RunSpec(protocol=protocol, n=args.n, preferences=tuple(preferences),
+                   pattern=pattern)
+    trace = spec.run(_make_executor(args))
     if args.show_rounds:
         print(render_run(trace))
     else:
@@ -149,7 +174,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.id!r}; use 'repro-eba list'", file=sys.stderr)
         return 2
     _description, runner = EXPERIMENTS[key]
-    print(runner(args.n, args.t))
+    print(runner(args.n, args.t, _make_executor(args)))
     return 0
 
 
@@ -188,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0, help="seed for --scenario random")
     run_parser.add_argument("--show-rounds", action="store_true",
                             help="print the full round-by-round message view")
+    _add_backend_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     experiment_parser = subparsers.add_parser("experiment",
@@ -195,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("id", help="experiment id, e.g. e3 (see 'list')")
     experiment_parser.add_argument("--n", type=int, default=6)
     experiment_parser.add_argument("--t", type=int, default=2)
+    _add_backend_arguments(experiment_parser)
     experiment_parser.set_defaults(handler=_cmd_experiment)
 
     list_parser = subparsers.add_parser("list", help="list experiments and protocols")
@@ -206,7 +233,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

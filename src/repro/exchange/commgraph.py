@@ -282,6 +282,13 @@ class CommGraph:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Serialize through sorted labels: frozenset iteration order is not
+        # stable across pickle round trips, and equal graphs must pickle to
+        # identical bytes (the executor-equivalence guarantee of repro.api).
+        return (self.__class__,
+                (self.n, self.time, self._prefs, tuple(sorted(self._label_set))))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"CommGraph(n={self.n}, time={self.time}, "
                 f"known_prefs={len(self.known_preferences())}, labels={len(self._labels)})")

@@ -17,14 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import Executor, Sweep
 from ..protocols.base import ActionProtocol
 from ..protocols.baselines import NaiveZeroBiasedProtocol
 from ..protocols.pbasic import BasicProtocol
 from ..protocols.pmin import MinProtocol
 from ..protocols.popt import OptimalFipProtocol
 from ..reporting.tables import format_table
-from ..simulation.engine import simulate
-from ..spec.eba import check_eba
 from ..workloads.scenarios import intro_counterexample
 
 
@@ -52,16 +51,17 @@ class AgreementMeasurement:
 
 def measure_agreement(n: int = 4, t: int = 1,
                       protocols: Optional[Sequence[ActionProtocol]] = None,
-                      ) -> List[AgreementMeasurement]:
+                      executor: Optional[Executor] = None) -> List[AgreementMeasurement]:
     """Run the counterexample scenario against the naive baseline and the paper's protocols."""
     if protocols is None:
         protocols = [NaiveZeroBiasedProtocol(t), MinProtocol(t), BasicProtocol(t),
                      OptimalFipProtocol(t)]
-    preferences, pattern = intro_counterexample(n=n, t=t)
+    results = Sweep.of(*protocols).on([intro_counterexample(n=n, t=t)], n=n).run(executor)
+    reports = results.check_eba()
     measurements: List[AgreementMeasurement] = []
     for protocol in protocols:
-        trace = simulate(protocol, n, preferences, pattern)
-        report_ = check_eba(trace)
+        trace = results.trace(protocol.name)
+        report_ = reports[protocol.name][0]
         values = tuple(
             trace.decision_value(agent) for agent in sorted(trace.nonfaulty)
             if trace.decision_value(agent) is not None
@@ -77,18 +77,19 @@ def measure_agreement(n: int = 4, t: int = 1,
     return measurements
 
 
-def sweep(sizes: Sequence[Tuple[int, int]] = ((3, 1), (4, 1), (6, 2), (8, 3))
-          ) -> List[AgreementMeasurement]:
+def sweep(sizes: Sequence[Tuple[int, int]] = ((3, 1), (4, 1), (6, 2), (8, 3)),
+          executor: Optional[Executor] = None) -> List[AgreementMeasurement]:
     """Run the counterexample across several system sizes."""
     results: List[AgreementMeasurement] = []
     for n, t in sizes:
-        results.extend(measure_agreement(n=n, t=t))
+        results.extend(measure_agreement(n=n, t=t, executor=executor))
     return results
 
 
-def report(sizes: Sequence[Tuple[int, int]] = ((3, 1), (4, 1), (6, 2))) -> str:
+def report(sizes: Sequence[Tuple[int, int]] = ((3, 1), (4, 1), (6, 2)),
+           executor: Optional[Executor] = None) -> str:
     """Render the agreement-violation experiment as a table."""
-    measurements = sweep(sizes)
+    measurements = sweep(sizes, executor=executor)
     table = format_table(
         [m.as_row() for m in measurements],
         title="E6 — the introduction's counterexample: hear-about-0 vs 0-chains",

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.dominance import compare_traces
+from ..api import Executor, Sweep
 from ..failures.models import CrashModel
 from ..failures.adversaries import crash_staircase_adversary
 from ..protocols.base import ActionProtocol
@@ -30,9 +31,7 @@ from ..protocols.baselines import NaiveZeroBiasedProtocol
 from ..protocols.pbasic import BasicProtocol
 from ..protocols.pmin import MinProtocol
 from ..reporting.tables import format_table
-from ..simulation.engine import simulate
 from ..simulation.runner import Scenario
-from ..spec.eba import check_eba
 from ..workloads.preferences import random_preferences
 from ..workloads.scenarios import intro_counterexample
 
@@ -85,22 +84,26 @@ def omission_workload(n: int, t: int) -> List[Scenario]:
 
 def measure_model(n: int, t: int, scenarios: Sequence[Scenario], model_label: str,
                   protocols: Optional[Sequence[ActionProtocol]] = None,
-                  ) -> List[CrashComparisonRow]:
+                  executor: Optional[Executor] = None) -> List[CrashComparisonRow]:
     """Check every protocol against the EBA specification over ``scenarios``."""
     if protocols is None:
         protocols = [NaiveZeroBiasedProtocol(t), MinProtocol(t), BasicProtocol(t)]
     reference = MinProtocol(t)
-    reference_traces = [simulate(reference, n, prefs, pattern) for prefs, pattern in scenarios]
+    results = Sweep.of(*protocols).on(scenarios, n=n).run(executor)
+    # The baseline column is always MinProtocol(t): reuse its traces from the
+    # sweep only when the caller's protocol really is that configuration.
+    if any(isinstance(p, MinProtocol) and p.t == t and p.name == reference.name
+           for p in protocols):
+        reference_traces = results[reference.name]
+    else:
+        reference_traces = Sweep.of(reference).on(scenarios, n=n).run(executor)[reference.name]
+    violation_counts = results.spec_violations()
     rows: List[CrashComparisonRow] = []
     for protocol in protocols:
-        violations = 0
+        traces = results[protocol.name]
+        violations = violation_counts[protocol.name]
         worst = 0
-        traces = []
-        for preferences, pattern in scenarios:
-            trace = simulate(protocol, n, preferences, pattern)
-            traces.append(trace)
-            if not check_eba(trace).ok:
-                violations += 1
+        for trace in traces:
             last = trace.last_decision_round(nonfaulty_only=True)
             if last is not None:
                 worst = max(worst, last)
@@ -119,16 +122,19 @@ def measure_model(n: int, t: int, scenarios: Sequence[Scenario], model_label: st
 
 
 def measure(n: int = 6, t: int = 2, count: int = 20, seed: int = 17,
-            ) -> List[CrashComparisonRow]:
+            executor: Optional[Executor] = None) -> List[CrashComparisonRow]:
     """The full E9 comparison: crash workload and the separating omission scenario."""
-    rows = measure_model(n, t, crash_workload(n, t, count=count, seed=seed), f"Crash({t})")
-    rows.extend(measure_model(n, t, omission_workload(n, t), f"SO({t}) counterexample"))
+    rows = measure_model(n, t, crash_workload(n, t, count=count, seed=seed), f"Crash({t})",
+                         executor=executor)
+    rows.extend(measure_model(n, t, omission_workload(n, t), f"SO({t}) counterexample",
+                              executor=executor))
     return rows
 
 
-def report(n: int = 6, t: int = 2, count: int = 20, seed: int = 17) -> str:
+def report(n: int = 6, t: int = 2, count: int = 20, seed: int = 17,
+           executor: Optional[Executor] = None) -> str:
     """Render the crash-vs-omissions comparison as a table."""
-    rows = measure(n=n, t=t, count=count, seed=seed)
+    rows = measure(n=n, t=t, count=count, seed=seed, executor=executor)
     table = format_table(
         [row.as_row() for row in rows],
         title=f"E9 — crash failures vs sending omissions (n={n}, t={t})",

@@ -16,12 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import Executor, Sweep
 from ..protocols.base import ActionProtocol
 from ..protocols.pbasic import BasicProtocol
 from ..protocols.pmin import MinProtocol
 from ..protocols.popt import OptimalFipProtocol
 from ..reporting.tables import format_table
-from ..simulation.engine import simulate
 from ..workloads.scenarios import failure_free_scenarios
 
 
@@ -68,14 +68,17 @@ def paper_decision_round(protocol_name: str, t: int, scenario: str) -> int:
 
 def measure_decision_rounds(n: int, t: int,
                             protocols: Optional[Sequence[ActionProtocol]] = None,
+                            executor: Optional[Executor] = None,
                             ) -> List[DecisionRoundMeasurement]:
     """Run the failure-free scenarios and record when the last agent decides."""
     if protocols is None:
         protocols = [MinProtocol(t), BasicProtocol(t), OptimalFipProtocol(t)]
+    labelled = failure_free_scenarios(n)
+    results = Sweep.of(*protocols).on([scenario for _, scenario in labelled], n=n).run(executor)
     measurements: List[DecisionRoundMeasurement] = []
-    for label, (preferences, pattern) in failure_free_scenarios(n):
+    for index, (label, _scenario) in enumerate(labelled):
         for protocol in protocols:
-            trace = simulate(protocol, n, preferences, pattern)
+            trace = results.trace(protocol.name, index)
             last_round = trace.last_decision_round()
             value = trace.decision_value(0)
             expected = paper_decision_round(protocol.name, t, label)
@@ -92,17 +95,20 @@ def measure_decision_rounds(n: int, t: int,
     return measurements
 
 
-def sweep_decision_rounds(settings: Sequence[Tuple[int, int]]) -> List[DecisionRoundMeasurement]:
+def sweep_decision_rounds(settings: Sequence[Tuple[int, int]],
+                          executor: Optional[Executor] = None,
+                          ) -> List[DecisionRoundMeasurement]:
     """Measure failure-free decision rounds for several ``(n, t)`` settings."""
     results: List[DecisionRoundMeasurement] = []
     for n, t in settings:
-        results.extend(measure_decision_rounds(n, t))
+        results.extend(measure_decision_rounds(n, t, executor=executor))
     return results
 
 
-def report(settings: Sequence[Tuple[int, int]] = ((5, 1), (8, 3), (12, 4))) -> str:
+def report(settings: Sequence[Tuple[int, int]] = ((5, 1), (8, 3), (12, 4)),
+           executor: Optional[Executor] = None) -> str:
     """Render the Proposition 8.2 comparison as a table."""
-    measurements = sweep_decision_rounds(settings)
+    measurements = sweep_decision_rounds(settings, executor=executor)
     return format_table(
         [m.as_row() for m in measurements],
         title="E2 / Proposition 8.2 — failure-free decision rounds",

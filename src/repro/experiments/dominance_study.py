@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.dominance import DominanceResult, pairwise_comparison
+from ..analysis.dominance import DominanceResult
+from ..api import Executor, Sweep
 from ..protocols.base import ActionProtocol
 from ..protocols.baselines import DelayedMinProtocol
 from ..protocols.pbasic import BasicProtocol
@@ -67,7 +68,7 @@ def default_workload(n: int, t: int, random_count: int = 20, seed: int = 7) -> L
 
 def study(n: int = 6, t: int = 2, random_count: int = 20, seed: int = 7,
           protocols: Optional[Sequence[ActionProtocol]] = None,
-          ) -> Dict[Tuple[str, str], DominanceResult]:
+          executor: Optional[Executor] = None) -> Dict[Tuple[str, str], DominanceResult]:
     """Run the pairwise dominance comparison over the default workload."""
     if protocols is None:
         protocols = [
@@ -77,7 +78,7 @@ def study(n: int = 6, t: int = 2, random_count: int = 20, seed: int = 7,
             DelayedMinProtocol(t, delay=2),
         ]
     workload = default_workload(n, t, random_count=random_count, seed=seed)
-    return pairwise_comparison(protocols, n, workload)
+    return Sweep.of(*protocols).on(workload, n=n).with_seed(seed).run(executor).pairwise()
 
 
 def _verdict(result: DominanceResult) -> str:
@@ -105,9 +106,10 @@ def rows_from_results(results: Dict[Tuple[str, str], DominanceResult]) -> List[D
     return rows
 
 
-def report(n: int = 6, t: int = 2, random_count: int = 20, seed: int = 7) -> str:
+def report(n: int = 6, t: int = 2, random_count: int = 20, seed: int = 7,
+           executor: Optional[Executor] = None) -> str:
     """Render the dominance study as a table."""
-    results = study(n=n, t=t, random_count=random_count, seed=seed)
+    results = study(n=n, t=t, random_count=random_count, seed=seed, executor=executor)
     table = format_table(
         [row.as_row() for row in rows_from_results(results)],
         title=f"E4 — pairwise dominance over corresponding runs (n={n}, t={t})",

@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..api import Executor, Sweep
 from ..protocols.base import ActionProtocol
 from ..protocols.pbasic import BasicProtocol
 from ..protocols.pmin import MinProtocol
 from ..protocols.popt import OptimalFipProtocol
 from ..reporting.tables import format_table
-from ..simulation.engine import simulate
+from ..simulation.trace import RunTrace
 from ..workloads.scenarios import example_7_1, silent_fault_sweep
 
 
@@ -69,64 +70,58 @@ def paper_round_for(protocol_name: str, t: int, silent_faulty: int) -> Optional[
     return None
 
 
+def _measurement(trace: RunTrace, n: int, t: int, silent: int) -> ExampleMeasurement:
+    """Summarise one trace as an :class:`ExampleMeasurement`."""
+    last = trace.last_decision_round(nonfaulty_only=True)
+    values = {trace.decision_value(agent) for agent in trace.nonfaulty}
+    return ExampleMeasurement(
+        protocol=trace.protocol_name,
+        n=n,
+        t=t,
+        silent_faulty=silent,
+        nonfaulty_decide_by_round=last if last is not None else -1,
+        decided_value=values.pop() if len(values) == 1 else -1,
+        paper_round=paper_round_for(trace.protocol_name, t, silent),
+    )
+
+
 def measure_example(n: int = 20, t: int = 10,
                     protocols: Optional[Sequence[ActionProtocol]] = None,
-                    ) -> List[ExampleMeasurement]:
+                    executor: Optional[Executor] = None) -> List[ExampleMeasurement]:
     """Reproduce Example 7.1 for the given system size."""
     if protocols is None:
         protocols = [MinProtocol(t), BasicProtocol(t), OptimalFipProtocol(t)]
-    preferences, pattern = example_7_1(n=n, t=t)
-    measurements: List[ExampleMeasurement] = []
-    for protocol in protocols:
-        trace = simulate(protocol, n, preferences, pattern)
-        last = trace.last_decision_round(nonfaulty_only=True)
-        values = {trace.decision_value(agent) for agent in trace.nonfaulty}
-        measurements.append(ExampleMeasurement(
-            protocol=protocol.name,
-            n=n,
-            t=t,
-            silent_faulty=t,
-            nonfaulty_decide_by_round=last if last is not None else -1,
-            decided_value=values.pop() if len(values) == 1 else -1,
-            paper_round=paper_round_for(protocol.name, t, t),
-        ))
-    return measurements
+    results = Sweep.of(*protocols).on([example_7_1(n=n, t=t)], n=n).run(executor)
+    return [_measurement(results.trace(protocol.name), n, t, silent=t)
+            for protocol in protocols]
 
 
 def sweep_silent_faulty(n: int, t: int,
                         protocols: Optional[Sequence[ActionProtocol]] = None,
-                        ) -> List[ExampleMeasurement]:
+                        executor: Optional[Executor] = None) -> List[ExampleMeasurement]:
     """Vary the number of silent faulty agents from 0 to ``t`` (all preferences 1)."""
     if protocols is None:
         protocols = [MinProtocol(t), BasicProtocol(t), OptimalFipProtocol(t)]
-    measurements: List[ExampleMeasurement] = []
-    for silent, (preferences, pattern) in silent_fault_sweep(n, t):
-        for protocol in protocols:
-            trace = simulate(protocol, n, preferences, pattern)
-            last = trace.last_decision_round(nonfaulty_only=True)
-            values = {trace.decision_value(agent) for agent in trace.nonfaulty}
-            measurements.append(ExampleMeasurement(
-                protocol=protocol.name,
-                n=n,
-                t=t,
-                silent_faulty=silent,
-                nonfaulty_decide_by_round=last if last is not None else -1,
-                decided_value=values.pop() if len(values) == 1 else -1,
-                paper_round=paper_round_for(protocol.name, t, silent),
-            ))
-    return measurements
+    labelled = silent_fault_sweep(n, t)
+    results = Sweep.of(*protocols).on([scenario for _, scenario in labelled], n=n).run(executor)
+    return [
+        _measurement(results.trace(protocol.name, index), n, t, silent=silent)
+        for index, (silent, _scenario) in enumerate(labelled)
+        for protocol in protocols
+    ]
 
 
-def report(n: int = 10, t: int = 5, include_sweep: bool = True) -> str:
+def report(n: int = 10, t: int = 5, include_sweep: bool = True,
+           executor: Optional[Executor] = None) -> str:
     """Render the Example 7.1 reproduction (scaled size by default) as tables."""
     main = format_table(
-        [m.as_row() for m in measure_example(n=n, t=t)],
+        [m.as_row() for m in measure_example(n=n, t=t, executor=executor)],
         title=f"E3 / Example 7.1 — {t} silent faulty agents, all prefer 1 (n={n}, t={t})",
     )
     if not include_sweep:
         return main
     sweep = format_table(
-        [m.as_row() for m in sweep_silent_faulty(n, t)],
+        [m.as_row() for m in sweep_silent_faulty(n, t, executor=executor)],
         title=f"E3 sweep — varying the number of silent faulty agents (n={n}, t={t})",
     )
     return main + "\n\n" + sweep

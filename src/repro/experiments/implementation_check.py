@@ -132,8 +132,14 @@ def measure(n: int = 3, t: int = 1, include_equivalence: bool = True,
     return measurements
 
 
-def report(n: int = 3, t: int = 1) -> str:
-    """Render the implementation checks as a table."""
+def report(n: int = 3, t: int = 1, executor=None) -> str:
+    """Render the implementation checks as a table.
+
+    ``executor`` is accepted for CLI uniformity with the sweep-shaped
+    experiments but unused: this experiment's work is exhaustive model
+    checking over an enumerated context, not batch simulation.
+    """
+    del executor
     measurements = measure(n, t)
     table = format_table(
         [m.as_row() for m in measurements],

@@ -19,12 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import Executor, Sweep
+from ..failures.pattern import FailurePattern
 from ..protocols.base import ActionProtocol
 from ..protocols.pbasic import BasicProtocol
 from ..protocols.pmin import MinProtocol
 from ..protocols.popt import OptimalFipProtocol
 from ..reporting.tables import format_table
-from ..simulation.engine import simulate
 from ..workloads.preferences import all_ones, single_zero
 
 
@@ -77,18 +78,21 @@ def default_protocols(t: int) -> List[ActionProtocol]:
 
 
 def measure_bits(n: int, t: int,
-                 protocols: Optional[Sequence[ActionProtocol]] = None) -> List[BitsMeasurement]:
+                 protocols: Optional[Sequence[ActionProtocol]] = None,
+                 executor: Optional[Executor] = None) -> List[BitsMeasurement]:
     """Measure total bits for the two failure-free scenarios of Section 8."""
     if protocols is None:
         protocols = default_protocols(t)
-    scenarios = [
-        ("one agent prefers 0", single_zero(n)),
-        ("all agents prefer 1", all_ones(n)),
+    pattern = FailurePattern.failure_free(n)
+    labelled = [
+        ("one agent prefers 0", (single_zero(n), pattern)),
+        ("all agents prefer 1", (all_ones(n), pattern)),
     ]
+    results = Sweep.of(*protocols).on([scenario for _, scenario in labelled], n=n).run(executor)
     measurements: List[BitsMeasurement] = []
     for protocol in protocols:
-        for label, preferences in scenarios:
-            trace = simulate(protocol, n, preferences)
+        for index, (label, _scenario) in enumerate(labelled):
+            trace = results.trace(protocol.name, index)
             bits = trace.total_bits(include_self=True)
             bound = paper_bit_bound(protocol.name, n, t)
             measurements.append(BitsMeasurement(
@@ -106,7 +110,8 @@ def measure_bits(n: int, t: int,
 
 
 def sweep_bits(settings: Sequence[Tuple[int, int]],
-               include_fip: bool = True) -> List[BitsMeasurement]:
+               include_fip: bool = True,
+               executor: Optional[Executor] = None) -> List[BitsMeasurement]:
     """Measure bits for a sweep of ``(n, t)`` settings.
 
     ``include_fip=False`` drops the full-information protocol (its per-run cost
@@ -117,14 +122,15 @@ def sweep_bits(settings: Sequence[Tuple[int, int]],
         protocols: List[ActionProtocol] = [MinProtocol(t), BasicProtocol(t)]
         if include_fip:
             protocols.append(OptimalFipProtocol(t))
-        results.extend(measure_bits(n, t, protocols))
+        results.extend(measure_bits(n, t, protocols, executor=executor))
     return results
 
 
 def report(settings: Sequence[Tuple[int, int]] = ((5, 1), (10, 3), (20, 6)),
-           include_fip: bool = True) -> str:
+           include_fip: bool = True,
+           executor: Optional[Executor] = None) -> str:
     """Render the Proposition 8.1 comparison as a table."""
-    measurements = sweep_bits(settings, include_fip=include_fip)
+    measurements = sweep_bits(settings, include_fip=include_fip, executor=executor)
     table = format_table([m.as_row() for m in measurements],
                          title="E1 / Proposition 8.1 — bits sent per failure-free run")
     notes = [

@@ -89,8 +89,14 @@ def measure(n: int = 3, t: int = 1) -> List[ProbeRow]:
     ]
 
 
-def report(n: int = 3, t: int = 1) -> str:
-    """Render the optimality probe as a table."""
+def report(n: int = 3, t: int = 1, executor=None) -> str:
+    """Render the optimality probe as a table.
+
+    ``executor`` is accepted for CLI uniformity with the sweep-shaped
+    experiments but unused: the probe enumerates one-step deviations over an
+    exhaustively built context in-process.
+    """
+    del executor
     rows = measure(n, t)
     table = format_table(
         [row.as_row() for row in rows],

@@ -16,15 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..api import Executor, Sweep
 from ..failures.models import SendingOmissionModel
 from ..protocols.base import ActionProtocol
 from ..protocols.pbasic import BasicProtocol
 from ..protocols.pmin import MinProtocol
 from ..protocols.popt import OptimalFipProtocol
 from ..reporting.tables import format_table
-from ..simulation.engine import simulate
 from ..simulation.runner import Scenario
-from ..spec.eba import check_eba
 from ..workloads.preferences import enumerate_preferences
 from ..workloads.scenarios import hidden_chain_scenario, random_scenarios
 
@@ -77,19 +76,18 @@ def adversarial_workload(n: int, t: int, random_count: int = 30, seed: int = 3) 
 
 def measure_termination(n: int, t: int, scenarios: Sequence[Scenario],
                         protocols: Optional[Sequence[ActionProtocol]] = None,
+                        executor: Optional[Executor] = None,
                         ) -> List[TerminationMeasurement]:
     """Worst decision round and specification violations of each protocol over ``scenarios``."""
     if protocols is None:
         protocols = [MinProtocol(t), BasicProtocol(t), OptimalFipProtocol(t)]
+    results = Sweep.of(*protocols).on(scenarios, n=n).run(executor)
+    violation_counts = results.spec_violations(deadline=t + 2, validity_for_faulty=True)
     measurements: List[TerminationMeasurement] = []
     for protocol in protocols:
+        violations = violation_counts[protocol.name]
         worst = 0
-        violations = 0
-        for preferences, pattern in scenarios:
-            trace = simulate(protocol, n, preferences, pattern)
-            report_ = check_eba(trace, deadline=t + 2, validity_for_faulty=True)
-            if not report_.ok:
-                violations += 1
+        for trace in results[protocol.name]:
             last = trace.last_decision_round(nonfaulty_only=False)
             if last is not None:
                 worst = max(worst, last)
@@ -106,10 +104,11 @@ def measure_termination(n: int, t: int, scenarios: Sequence[Scenario],
     return measurements
 
 
-def report(n: int = 6, t: int = 2, random_count: int = 30, seed: int = 3) -> str:
+def report(n: int = 6, t: int = 2, random_count: int = 30, seed: int = 3,
+           executor: Optional[Executor] = None) -> str:
     """Render the termination-bound experiment as a table."""
     scenarios = adversarial_workload(n, t, random_count=random_count, seed=seed)
-    measurements = measure_termination(n, t, scenarios)
+    measurements = measure_termination(n, t, scenarios, executor=executor)
     table = format_table(
         [m.as_row() for m in measurements],
         title=f"E5 / Proposition 6.1 — worst-case decision round (n={n}, t={t})",

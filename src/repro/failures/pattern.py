@@ -73,6 +73,13 @@ class FailurePattern:
 
     # ------------------------------------------------------------------ basic queries
 
+    def __reduce__(self):
+        # Serialize through sorted tuples: frozenset iteration order is not
+        # stable across pickle round trips, and equal patterns must pickle to
+        # identical bytes (the executor-equivalence guarantee of repro.api).
+        return (self.__class__,
+                (self.n, tuple(sorted(self.faulty)), tuple(sorted(self.omissions))))
+
     @property
     def nonfaulty(self) -> FrozenSet[AgentId]:
         """The set ``N`` of nonfaulty agents."""

@@ -1,4 +1,9 @@
-"""The synchronous simulation engine, run traces, and batch runners."""
+"""The synchronous simulation engine and run traces.
+
+:func:`simulate` here is the low-level engine primitive (one run, in-process).
+Batch orchestration lives in :mod:`repro.api`; the legacy batch helpers in
+:mod:`repro.simulation.runner` are deprecated shims over that layer.
+"""
 
 from .engine import simulate, step
 from .runner import BatchResult, Scenario, corresponding_runs, run_batch, run_protocol, sweep

@@ -1,10 +1,12 @@
 """Workload generators: preference vectors and named scenarios."""
 
 from .preferences import (
+    SeedLike,
     all_ones,
     all_zeros,
     enumerate_preferences,
     random_preferences,
+    resolve_rng,
     single_one,
     single_zero,
     with_zero_fraction,
@@ -19,6 +21,7 @@ from .scenarios import (
 )
 
 __all__ = [
+    "SeedLike",
     "all_ones",
     "all_zeros",
     "enumerate_preferences",
@@ -28,6 +31,7 @@ __all__ = [
     "intro_counterexample",
     "random_preferences",
     "random_scenarios",
+    "resolve_rng",
     "silent_fault_sweep",
     "single_one",
     "single_zero",

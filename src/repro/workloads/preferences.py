@@ -13,9 +13,21 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Sequence, Union
 
 from ..core.types import PreferenceVector, Value
+
+#: Seed-like argument: an int seeds a fresh ``random.Random``; passing a
+#: ``random.Random`` instance draws from that stream directly, which lets
+#: parallel workers derive independent deterministic streams.
+SeedLike = Union[int, random.Random]
+
+
+def resolve_rng(seed: SeedLike) -> random.Random:
+    """Turn a seed-like argument into a ``random.Random`` instance."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
 
 
 def all_zeros(n: int) -> PreferenceVector:
@@ -50,10 +62,13 @@ def enumerate_preferences(n: int) -> Iterator[PreferenceVector]:
         yield tuple(combo)
 
 
-def random_preferences(n: int, count: int, seed: int = 0,
+def random_preferences(n: int, count: int, seed: SeedLike = 0,
                        zero_probability: float = 0.5) -> List[PreferenceVector]:
-    """``count`` random preference vectors drawn i.i.d. with the given 0-probability."""
-    rng = random.Random(seed)
+    """``count`` random preference vectors drawn i.i.d. with the given 0-probability.
+
+    ``seed`` may be an int or a ``random.Random`` instance (see :data:`SeedLike`).
+    """
+    rng = resolve_rng(seed)
     vectors: List[PreferenceVector] = []
     for _ in range(count):
         vectors.append(tuple(0 if rng.random() < zero_probability else 1 for _ in range(n)))

@@ -29,7 +29,7 @@ from ..failures.adversaries import (
 from ..failures.models import SendingOmissionModel
 from ..failures.pattern import FailurePattern
 from ..simulation.runner import Scenario
-from .preferences import all_ones, all_zeros, random_preferences, single_zero
+from .preferences import SeedLike, all_ones, all_zeros, random_preferences, single_zero
 
 
 def example_7_1(n: int = 20, t: int = 10, horizon: Optional[int] = None) -> Scenario:
@@ -88,17 +88,32 @@ def failure_free_scenarios(n: int) -> List[Tuple[str, Scenario]]:
     ]
 
 
-def random_scenarios(n: int, t: int, count: int, seed: int = 0,
+def random_scenarios(n: int, t: int, count: int, seed: SeedLike = 0,
                      horizon: Optional[int] = None,
                      omission_probability: float = 0.5,
                      zero_probability: float = 0.5) -> List[Scenario]:
-    """A reproducible random workload of (preferences, SO(t) pattern) pairs."""
+    """A reproducible random workload of (preferences, SO(t) pattern) pairs.
+
+    ``seed`` may be an int (the historical behaviour: preferences come from an
+    independent ``Random(seed + 1)`` stream, patterns from ``Random(seed)``) or
+    a ``random.Random`` instance, in which case everything is drawn from that
+    one stream.  The instance form is what parallel workers use to derive
+    independent deterministic workloads without relying on ``numpy`` or global
+    state: give each worker ``random.Random(worker_index)`` (or a stream
+    spawned from a master instance) and its workload is a pure function of
+    that stream's state.
+    """
     if horizon is None:
         horizon = t + 3
     model = SendingOmissionModel(n=n, t=t)
-    rng = random.Random(seed)
-    preferences = random_preferences(n, count, seed=seed + 1,
-                                     zero_probability=zero_probability)
+    if isinstance(seed, random.Random):
+        rng = seed
+        preferences = random_preferences(n, count, seed=rng,
+                                         zero_probability=zero_probability)
+    else:
+        rng = random.Random(seed)
+        preferences = random_preferences(n, count, seed=seed + 1,
+                                         zero_probability=zero_probability)
     scenarios: List[Scenario] = []
     for index in range(count):
         pattern = model.sample(rng, horizon, omission_probability=omission_probability)

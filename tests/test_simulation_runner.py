@@ -1,24 +1,42 @@
-"""Unit tests for batch runners and corresponding runs."""
+"""Unit tests for the deprecated batch-runner shims (legacy entry points).
+
+The real orchestration layer is :mod:`repro.api` (tested in
+``test_api_specs.py`` / ``test_api_executors.py``); these tests pin down the
+compatibility contract of the shims: same results as before, plus a
+``DeprecationWarning`` naming the replacement.
+"""
 
 import pytest
 
+from repro.core.errors import ConfigurationError
 from repro.failures import FailurePattern
 from repro.protocols import BasicProtocol, MinProtocol
 from repro.simulation import corresponding_runs, run_batch, run_protocol, sweep
+from repro.simulation.runner import simulate as simulate_shim
 from repro.workloads import random_scenarios
 
 
 class TestRunProtocol:
     def test_thin_wrapper(self):
-        trace = run_protocol(MinProtocol(1), 3, [0, 1, 1])
+        with pytest.deprecated_call():
+            trace = run_protocol(MinProtocol(1), 3, [0, 1, 1])
         assert trace.protocol_name == "P_min"
         assert trace.decision_value(0) == 0
+
+
+class TestSimulateShim:
+    def test_matches_the_engine(self):
+        from repro.simulation.engine import simulate as engine_simulate
+        with pytest.deprecated_call():
+            trace = simulate_shim(MinProtocol(1), 3, [0, 1, 1])
+        assert trace == engine_simulate(MinProtocol(1), 3, [0, 1, 1])
 
 
 class TestRunBatch:
     def test_batch_runs_every_scenario(self):
         scenarios = random_scenarios(4, 1, count=5, seed=0)
-        result = run_batch(MinProtocol(1), 4, scenarios)
+        with pytest.deprecated_call():
+            result = run_batch(MinProtocol(1), 4, scenarios)
         assert len(result) == 5
         assert result.protocol_name == "P_min"
         assert all(trace.n == 4 for trace in result)
@@ -27,14 +45,17 @@ class TestRunBatch:
 class TestCorrespondingRuns:
     def test_same_initial_state_everywhere(self):
         pattern = FailurePattern.silent(4, faulty=[2], horizon=3)
-        runs = corresponding_runs([MinProtocol(1), BasicProtocol(1)], 4, [1, 0, 1, 1], pattern)
+        with pytest.deprecated_call():
+            runs = corresponding_runs([MinProtocol(1), BasicProtocol(1)], 4,
+                                      [1, 0, 1, 1], pattern)
         assert set(runs) == {"P_min", "P_basic"}
         for trace in runs.values():
             assert trace.preferences == (1, 0, 1, 1)
             assert trace.pattern == pattern
 
-    def test_duplicate_names_rejected(self):
-        with pytest.raises(ValueError):
+    def test_duplicate_names_rejected_with_the_collision_named(self):
+        with pytest.deprecated_call(), \
+             pytest.raises(ConfigurationError, match="P_min"):
             corresponding_runs([MinProtocol(1), MinProtocol(2)], 4, [1, 1, 1, 1],
                                FailurePattern.failure_free(4))
 
@@ -42,6 +63,7 @@ class TestCorrespondingRuns:
 class TestSweep:
     def test_sweep_produces_batches_per_protocol(self):
         scenarios = random_scenarios(4, 1, count=3, seed=1)
-        results = sweep([MinProtocol(1), BasicProtocol(1)], 4, scenarios)
+        with pytest.deprecated_call():
+            results = sweep([MinProtocol(1), BasicProtocol(1)], 4, scenarios)
         assert set(results) == {"P_min", "P_basic"}
         assert all(len(batch) == 3 for batch in results.values())
