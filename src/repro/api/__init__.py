@@ -56,6 +56,7 @@ from .executors import (
     RunTask,
     SerialExecutor,
     execute_task,
+    executor_from_flags,
     resolve_executor,
 )
 from .results import ResultSet
@@ -73,6 +74,7 @@ __all__ = [
     "SweepSpec",
     "corresponding",
     "execute_task",
+    "executor_from_flags",
     "resolve_executor",
     "run",
     "run_sweep",

@@ -126,3 +126,16 @@ def resolve_executor(executor: Optional[Executor]) -> Executor:
             f"{executor!r} is not an Executor (needs a run_tasks(tasks) method)"
         )
     return executor
+
+
+def executor_from_flags(parallel: bool = False, jobs: Optional[int] = None) -> Executor:
+    """Build the backend described by ``--parallel`` / ``--jobs``-style flags.
+
+    The single translation point from user-facing flags to a backend, shared
+    by the CLI and the benchmarks: ``parallel=False`` yields a
+    :class:`SerialExecutor` (``jobs`` is ignored), ``parallel=True`` a
+    :class:`ParallelExecutor` with ``jobs`` workers (``None`` = all cores).
+    """
+    if parallel:
+        return ParallelExecutor(max_workers=jobs)
+    return SerialExecutor()

@@ -20,7 +20,8 @@ Examples
 
 Both commands execute through the :mod:`repro.api` orchestration layer;
 ``--parallel`` switches the sweep-shaped experiments to the process-pool
-backend.
+backend and parallelises the exhaustive system enumeration behind the
+model-checking experiments (e7, e11).
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .api import Executor, ParallelExecutor, RunSpec, SerialExecutor
+from .api import Executor, RunSpec, executor_from_flags
 from .core.errors import ReproError
 from .experiments import (
     agreement_violation,
@@ -95,9 +96,8 @@ EXPERIMENTS: Dict[str, tuple] = {
 
 def _make_executor(args: argparse.Namespace) -> Optional[Executor]:
     """Build the execution backend requested on the command line."""
-    if getattr(args, "parallel", False):
-        return ParallelExecutor(max_workers=getattr(args, "jobs", None))
-    return SerialExecutor()
+    return executor_from_flags(parallel=getattr(args, "parallel", False),
+                               jobs=getattr(args, "jobs", None))
 
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:

@@ -1,9 +1,16 @@
-"""Set-based model checking of epistemic temporal formulas over finite systems.
+"""Bitset-based model checking of epistemic temporal formulas over finite systems.
 
 The evaluator computes, for each sub-formula, the set of points of the
-interpreted system at which it holds (memoised per formula object).  This makes
-the common-knowledge fixpoint and the validity checks cheap relative to the
-(exponential) cost of enumerating the system itself.
+interpreted system at which it holds (memoised per formula object).  Point sets
+are dense bitmasks over the index ``run_index * (horizon + 1) + time`` (one
+Python ``int`` per formula), so the propositional connectives are single
+big-integer operations, the temporal operators are shift-and-mask pipelines
+over per-run segments, and the knowledge operators are sweeps over the
+system's interned per-agent equivalence-class masks.  The public API still
+speaks sets of points: :meth:`ModelChecker.satisfying_points` returns a
+:class:`~repro.systems.points.PointSet`, a drop-in stand-in for the previous
+``frozenset[Point]`` representation.  A straightforward set-based evaluator is
+retained in :mod:`repro.logic.reference` as a differential-testing oracle.
 
 Temporal operators are given the natural *bounded-horizon* semantics: ``⃝ φ``
 is false at the final time of the system (there is no next point), and ``□``,
@@ -15,11 +22,11 @@ paper uses (their temporal depth is one).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Set
+from typing import Dict, FrozenSet
 
 from ..core.errors import ModelCheckingError
 from ..systems.interpreted import InterpretedSystem
-from ..systems.points import Point
+from ..systems.points import Point, PointSet
 from .formula import (
     Always,
     AlwaysFuture,
@@ -42,7 +49,7 @@ from .formula import (
     TrueFormula,
 )
 
-PointSet = FrozenSet[Point]
+__all__ = ["ModelChecker", "PointSet", "holds", "satisfying_points", "valid"]
 
 
 class ModelChecker:
@@ -50,16 +57,23 @@ class ModelChecker:
 
     def __init__(self, system: InterpretedSystem) -> None:
         self.system = system
-        self._cache: Dict[Formula, PointSet] = {}
-        self._all_points: PointSet = frozenset(system.points)
+        self._cache: Dict[Formula, int] = {}
+        self._full: int = system.full_mask
+        self._all_points: PointSet = system.point_set(self._full)
 
     # ------------------------------------------------------------------ public API
 
     def satisfying_points(self, formula: Formula) -> PointSet:
         """The set of points at which ``formula`` holds."""
-        if formula not in self._cache:
-            self._cache[formula] = self._evaluate(formula)
-        return self._cache[formula]
+        return self.system.point_set(self.satisfying_mask(formula))
+
+    def satisfying_mask(self, formula: Formula) -> int:
+        """The satisfying set as a raw bitmask over the dense point index."""
+        mask = self._cache.get(formula)
+        if mask is None:
+            mask = self._evaluate(formula)
+            self._cache[formula] = mask
+        return mask
 
     def holds(self, formula: Formula, point: Point) -> bool:
         """Whether ``formula`` holds at ``point``."""
@@ -67,18 +81,16 @@ class ModelChecker:
 
     def valid(self, formula: Formula) -> bool:
         """Whether ``formula`` holds at every point of the system."""
-        return self.satisfying_points(formula) == self._all_points
+        return self.satisfying_mask(formula) == self._full
 
     def counterexamples(self, formula: Formula, limit: int = 5) -> list[Point]:
-        """Up to ``limit`` points at which ``formula`` fails (for diagnostics)."""
-        failures = []
-        satisfying = self.satisfying_points(formula)
-        for point in self.system.points:
-            if point not in satisfying:
-                failures.append(point)
-                if len(failures) >= limit:
-                    break
-        return failures
+        """Up to ``limit`` points at which ``formula`` fails (for diagnostics).
+
+        Counterexamples are listed in the system's deterministic point order
+        (run-major, time-minor), independent of the set representation.
+        """
+        failing = self._full & ~self.satisfying_mask(formula)
+        return list(self.system.point_set(failing).first(limit))
 
     # ------------------------------------------------------------------ group resolution
 
@@ -94,117 +106,131 @@ class ModelChecker:
 
     # ------------------------------------------------------------------ evaluation
 
-    def _evaluate(self, formula: Formula) -> PointSet:
+    def _evaluate(self, formula: Formula) -> int:
         if isinstance(formula, TrueFormula):
-            return self._all_points
+            return self._full
         if isinstance(formula, InitEquals):
-            return frozenset(
-                point for point in self.system.points
-                if self.system.run(point).preferences[formula.agent] == formula.value
-            )
+            return self.system.init_mask(formula.agent, formula.value)
         if isinstance(formula, DecidedEquals):
-            return frozenset(
-                point for point in self.system.points
-                if self.system.local_state(point, formula.agent).decided == formula.value
-            )
+            return self.system.decided_mask(formula.agent, formula.value)
         if isinstance(formula, TimeEquals):
-            return frozenset(point for point in self.system.points if point.time == formula.time)
+            return self.system.time_mask(formula.time)
         if isinstance(formula, IsNonfaulty):
-            return frozenset(
-                point for point in self.system.points
-                if formula.agent in self.system.nonfaulty(point)
-            )
+            return self.system.nonfaulty_mask(formula.agent)
         if isinstance(formula, Not):
-            return self._all_points - self.satisfying_points(formula.operand)
+            return self._full & ~self.satisfying_mask(formula.operand)
         if isinstance(formula, And):
-            result = self._all_points
+            result = self._full
             for operand in formula.operands:
-                result = result & self.satisfying_points(operand)
+                result &= self.satisfying_mask(operand)
             return result
         if isinstance(formula, Or):
-            result: Set[Point] = set()
+            result = 0
             for operand in formula.operands:
-                result |= self.satisfying_points(operand)
-            return frozenset(result)
+                result |= self.satisfying_mask(operand)
+            return result
         if isinstance(formula, Knows):
-            return self._evaluate_knows(formula.agent, self.satisfying_points(formula.operand))
+            return self._evaluate_knows(formula.agent, self.satisfying_mask(formula.operand))
         if isinstance(formula, EveryoneKnows):
             return self._evaluate_everyone_knows(formula.group,
-                                                 self.satisfying_points(formula.operand))
+                                                 self.satisfying_mask(formula.operand))
         if isinstance(formula, CommonKnowledge):
             return self._evaluate_common_knowledge(formula.group,
-                                                   self.satisfying_points(formula.operand))
+                                                   self.satisfying_mask(formula.operand))
         if isinstance(formula, Next):
-            inner = self.satisfying_points(formula.operand)
-            return frozenset(
-                point for point in self.system.points
-                if point.time + 1 <= self.system.horizon
-                and Point(point.run_index, point.time + 1) in inner
-            )
+            return self._shift_earlier(self.satisfying_mask(formula.operand))
         if isinstance(formula, Previous):
-            inner = self.satisfying_points(formula.operand)
-            return frozenset(
-                point for point in self.system.points
-                if point.time > 0 and Point(point.run_index, point.time - 1) in inner
-            )
+            return self._shift_later(self.satisfying_mask(formula.operand))
         if isinstance(formula, AlwaysFuture):
-            inner = self.satisfying_points(formula.operand)
-            return frozenset(
-                point for point in self.system.points
-                if all(Point(point.run_index, later) in inner
-                       for later in range(point.time, self.system.horizon + 1))
-            )
+            return self._always_future(self.satisfying_mask(formula.operand))
         if isinstance(formula, Always):
-            inner = self.satisfying_points(formula.operand)
-            return frozenset(
-                point for point in self.system.points
-                if all(Point(point.run_index, time) in inner
-                       for time in range(self.system.horizon + 1))
-            )
+            return self._always(self.satisfying_mask(formula.operand))
         if isinstance(formula, Eventually):
-            inner = self.satisfying_points(formula.operand)
-            return frozenset(
-                point for point in self.system.points
-                if any(Point(point.run_index, later) in inner
-                       for later in range(point.time, self.system.horizon + 1))
-            )
+            return self._eventually(self.satisfying_mask(formula.operand))
         raise ModelCheckingError(f"unsupported formula type: {type(formula).__name__}")
 
-    def _evaluate_knows(self, agent: int, inner: PointSet) -> PointSet:
-        result: Set[Point] = set()
-        for _, points in self.system.equivalence_classes(agent).items():
-            if all(point in inner for point in points):
-                result.update(points)
-        return frozenset(result)
+    # ------------------------------------------------------------------ temporal operators
+    #
+    # All five operators stay within each run's ``horizon + 1``-bit segment:
+    # ``mask >> 1`` moves the value at ``(r, m + 1)`` onto ``(r, m)``, and the
+    # final-time mask keeps the low bit of run ``r + 1`` from leaking into the
+    # last time of run ``r`` (symmetrically for ``<< 1`` and time 0).
 
-    def _evaluate_everyone_knows(self, group: Group, inner: PointSet) -> PointSet:
-        knows_by_agent: Dict[int, PointSet] = {
-            agent: self._evaluate_knows(agent, inner) for agent in range(self.system.n)
-        }
-        result: Set[Point] = set()
-        for point in self.system.points:
-            members = self.group_members(group, point)
-            if all(point in knows_by_agent[agent] for agent in members):
-                result.add(point)
-        return frozenset(result)
+    def _shift_earlier(self, inner: int) -> int:
+        """``⃝ φ``: the value at the next time, false at the final time."""
+        return (inner >> 1) & ~self.system.time_mask(self.system.horizon)
 
-    def _evaluate_common_knowledge(self, group: Group, inner: PointSet) -> PointSet:
+    def _shift_later(self, inner: int) -> int:
+        """``⊖ φ``: the value at the previous time, false at time 0."""
+        return (inner << 1) & ~self.system.time_mask(0) & self._full
+
+    def _always_future(self, inner: int) -> int:
+        """``□ φ``: φ at every time from now to the horizon (suffix AND per run)."""
+        final = self.system.time_mask(self.system.horizon)
+        result = inner
+        for _ in range(self.system.horizon):
+            result &= ((result >> 1) & ~final) | final
+        return result
+
+    def _eventually(self, inner: int) -> int:
+        """``◇ φ``: φ at some time from now to the horizon (suffix OR per run)."""
+        final = self.system.time_mask(self.system.horizon)
+        result = inner
+        for _ in range(self.system.horizon):
+            result |= (result >> 1) & ~final
+        return result
+
+    def _always(self, inner: int) -> int:
+        """``⊡ φ``: φ at every time of the run — all-or-nothing per run segment."""
+        initial = self.system.time_mask(0)
+        whole_runs = self._always_future(inner) & initial
+        result = whole_runs
+        for _ in range(self.system.horizon):
+            result |= (result << 1) & ~initial
+        return result & self._full
+
+    # ------------------------------------------------------------------ epistemic operators
+
+    def _evaluate_knows(self, agent: int, inner: int) -> int:
+        """``K_agent``: a class mask contained in ``inner`` contributes wholesale."""
+        result = 0
+        for class_mask in self.system.partition(agent).class_masks:
+            if class_mask & ~inner == 0:
+                result |= class_mask
+        return result
+
+    def _everyone_knows_mask(self, group: Group, inner: int) -> int:
+        """The ``E_S`` mask given the operand's mask (no per-formula caching)."""
+        if isinstance(group, str):
+            if group != NONFAULTY:
+                raise ModelCheckingError(f"unsupported group specification: {group!r}")
+            # i must know φ wherever i is nonfaulty: (i ∈ N) ⇒ K_i φ, for all i.
+            result = self._full
+            for agent in range(self.system.n):
+                knows = self._evaluate_knows(agent, inner)
+                result &= knows | (self._full & ~self.system.nonfaulty_mask(agent))
+            return result
+        # Any other group kind is an explicit, point-independent collection of
+        # agents; an indexical kind would need its own membership-mask case
+        # like NONFAULTY above.
+        if isinstance(group, (frozenset, set, tuple, list)):
+            result = self._full
+            for agent in group:
+                result &= self._evaluate_knows(agent, inner)
+            return result
+        raise ModelCheckingError(f"unsupported group specification: {group!r}")
+
+    def _evaluate_everyone_knows(self, group: Group, inner: int) -> int:
+        return self._everyone_knows_mask(group, inner)
+
+    def _evaluate_common_knowledge(self, group: Group, inner: int) -> int:
         """Greatest fixpoint of ``X = E_S(φ ∧ X)`` (standard characterization of ``C_S φ``)."""
-        current: PointSet = self._all_points
+        current = self._full
         while True:
-            target = inner & current
-            knows_by_agent: Dict[int, PointSet] = {
-                agent: self._evaluate_knows(agent, target) for agent in range(self.system.n)
-            }
-            updated: Set[Point] = set()
-            for point in current:
-                members = self.group_members(group, point)
-                if all(point in knows_by_agent[agent] for agent in members):
-                    updated.add(point)
-            updated_frozen = frozenset(updated)
-            if updated_frozen == current:
-                return updated_frozen
-            current = updated_frozen
+            updated = current & self._everyone_knows_mask(group, inner & current)
+            if updated == current:
+                return updated
+            current = updated
 
 
 def satisfying_points(system: InterpretedSystem, formula: Formula) -> PointSet:

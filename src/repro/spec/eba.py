@@ -17,10 +17,30 @@ a :class:`SpecReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import SpecificationViolation
 from ..simulation.trace import RunTrace
+
+#: Per-agent decision record: the 1-based rounds in which the agent performed a
+#: decision action, paired with the decided values, in round order.
+DecisionTable = Tuple[Tuple[Tuple[int, int], ...], ...]
+
+
+def decision_table(trace: RunTrace) -> DecisionTable:
+    """Collect every decision action of the trace in one pass over the rounds.
+
+    ``table[agent]`` lists ``(round_number, value)`` for each decision action
+    ``agent`` performed, in round order.  The four property checkers below all
+    derive their per-agent views from this table, so checking a trace scans
+    its rounds once instead of once per agent per property.
+    """
+    decisions: List[List[Tuple[int, int]]] = [[] for _ in range(trace.n)]
+    for record in trace.rounds:
+        for agent, action in enumerate(record.actions):
+            if action.is_decision:
+                decisions[agent].append((record.round_number, action.value))
+    return tuple(tuple(rounds) for rounds in decisions)
 
 
 @dataclass
@@ -47,15 +67,14 @@ class SpecReport:
         return f"SpecReport({status}: {self.trace_summary})"
 
 
-def check_unique_decision(trace: RunTrace) -> List[str]:
+def check_unique_decision(trace: RunTrace,
+                          decisions: Optional[DecisionTable] = None) -> List[str]:
     """Unique Decision: an agent never performs a second (or conflicting) decision."""
+    if decisions is None:
+        decisions = decision_table(trace)
     violations: List[str] = []
     for agent in range(trace.n):
-        decision_rounds = [
-            record.round_number
-            for record in trace.rounds
-            if record.actions[agent].is_decision
-        ]
+        decision_rounds = [round_number for round_number, _value in decisions[agent]]
         if len(decision_rounds) > 1:
             violations.append(
                 f"agent {agent} decides more than once (rounds {decision_rounds})"
@@ -63,49 +82,59 @@ def check_unique_decision(trace: RunTrace) -> List[str]:
     return violations
 
 
-def check_agreement(trace: RunTrace) -> List[str]:
+def check_agreement(trace: RunTrace,
+                    decisions: Optional[DecisionTable] = None) -> List[str]:
     """Agreement: all nonfaulty deciders agree on the value."""
+    if decisions is None:
+        decisions = decision_table(trace)
     violations: List[str] = []
-    decisions: Dict[int, int] = {}
+    decided: Dict[int, int] = {}
     for agent in sorted(trace.nonfaulty):
-        value = trace.decision_value(agent)
-        if value is not None:
-            decisions[agent] = value
-    values = set(decisions.values())
+        if decisions[agent]:
+            decided[agent] = decisions[agent][0][1]
+    values = set(decided.values())
     if len(values) > 1:
-        detail = ", ".join(f"agent {agent}→{value}" for agent, value in sorted(decisions.items()))
+        detail = ", ".join(f"agent {agent}→{value}" for agent, value in sorted(decided.items()))
         violations.append(f"nonfaulty agents disagree: {detail}")
     return violations
 
 
-def check_validity(trace: RunTrace, include_faulty: bool = False) -> List[str]:
+def check_validity(trace: RunTrace, include_faulty: bool = False,
+                   decisions: Optional[DecisionTable] = None) -> List[str]:
     """Validity: a decided value must be someone's initial preference.
 
     With ``include_faulty=True`` the property is checked for every agent (the
     strengthening that Proposition 6.1 proves for implementations of ``P0``).
     """
+    if decisions is None:
+        decisions = decision_table(trace)
     violations: List[str] = []
     present_values = set(trace.preferences)
-    agents = range(trace.n) if include_faulty else sorted(trace.nonfaulty)
+    agents: Sequence[int] = range(trace.n) if include_faulty else sorted(trace.nonfaulty)
     for agent in agents:
-        value = trace.decision_value(agent)
-        if value is not None and value not in present_values:
-            violations.append(
-                f"agent {agent} decided {value} but no agent had that initial preference"
-            )
+        if decisions[agent]:
+            value = decisions[agent][0][1]
+            if value not in present_values:
+                violations.append(
+                    f"agent {agent} decided {value} but no agent had that initial preference"
+                )
     return violations
 
 
 def check_termination(trace: RunTrace, deadline: Optional[int] = None,
-                      include_faulty: bool = False) -> List[str]:
+                      include_faulty: bool = False,
+                      decisions: Optional[DecisionTable] = None) -> List[str]:
     """Termination: every nonfaulty agent decides (optionally by a 1-based round ``deadline``)."""
+    if decisions is None:
+        decisions = decision_table(trace)
     violations: List[str] = []
-    agents = range(trace.n) if include_faulty else sorted(trace.nonfaulty)
+    agents: Sequence[int] = range(trace.n) if include_faulty else sorted(trace.nonfaulty)
     for agent in agents:
-        round_number = trace.decision_round(agent)
-        if round_number is None:
+        if not decisions[agent]:
             violations.append(f"agent {agent} never decides within the simulated horizon")
-        elif deadline is not None and round_number > deadline:
+            continue
+        round_number = decisions[agent][0][0]
+        if deadline is not None and round_number > deadline:
             violations.append(
                 f"agent {agent} decides in round {round_number}, after the deadline {deadline}"
             )
@@ -116,13 +145,16 @@ def check_eba(trace: RunTrace, deadline: Optional[int] = None,
               validity_for_faulty: bool = False,
               termination_for_faulty: bool = False) -> SpecReport:
     """Check the full EBA specification on a trace and return a report."""
+    decisions = decision_table(trace)
     return SpecReport(
         trace_summary=trace.summary(),
-        unique_decision=check_unique_decision(trace),
-        agreement=check_agreement(trace),
-        validity=check_validity(trace, include_faulty=validity_for_faulty),
+        unique_decision=check_unique_decision(trace, decisions=decisions),
+        agreement=check_agreement(trace, decisions=decisions),
+        validity=check_validity(trace, include_faulty=validity_for_faulty,
+                                decisions=decisions),
         termination=check_termination(trace, deadline=deadline,
-                                      include_faulty=termination_for_faulty),
+                                      include_faulty=termination_for_faulty,
+                                      decisions=decisions),
     )
 
 

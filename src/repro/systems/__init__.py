@@ -1,13 +1,20 @@
 """Interpreted systems, points, and EBA context descriptors."""
 
 from .contexts import EBAContext, gamma_basic, gamma_fip, gamma_min
-from .interpreted import InterpretedSystem, build_system, build_system_for_model
-from .points import Point
+from .interpreted import (
+    AgentPartition,
+    InterpretedSystem,
+    build_system,
+    build_system_for_model,
+)
+from .points import Point, PointSet
 
 __all__ = [
+    "AgentPartition",
     "EBAContext",
     "InterpretedSystem",
     "Point",
+    "PointSet",
     "build_system",
     "build_system_for_model",
     "gamma_basic",

@@ -16,12 +16,15 @@ paper: ``gamma_min(n, t).build_system(MinProtocol(t))`` is the system
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, TYPE_CHECKING
 
 from ..failures.models import FailureModel, SendingOmissionModel
 from ..failures.pattern import FailurePattern
 from ..protocols.base import ActionProtocol
 from .interpreted import InterpretedSystem, build_system
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.executors import Executor
 
 
 @dataclass(frozen=True)
@@ -60,9 +63,16 @@ class EBAContext:
         return self.failure_model.enumerate(self.horizon,
                                             max_faulty=self.max_faulty_enumerated)
 
-    def build_system(self, protocol: ActionProtocol) -> InterpretedSystem:
-        """Build ``I_{γ, P}`` for the given action protocol."""
-        return build_system(protocol, self.n, self.horizon, self.patterns())
+    def build_system(self, protocol: ActionProtocol,
+                     executor: Optional["Executor"] = None) -> InterpretedSystem:
+        """Build ``I_{γ, P}`` for the given action protocol.
+
+        ``executor`` optionally fans the run simulations out over a
+        :class:`~repro.api.executors.Executor` backend (run ordering is
+        deterministic on every backend).
+        """
+        return build_system(protocol, self.n, self.horizon, self.patterns(),
+                            executor=executor)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.name}(n={self.n}, t={self.t}, horizon={self.horizon})"

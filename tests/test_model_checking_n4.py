@@ -1,0 +1,27 @@
+"""The paper's implementation theorems checked exhaustively at n = 4.
+
+These were quarantined behind ``pytest -m slow`` when the model checker
+materialised ``frozenset[Point]`` sets (tens of seconds each); with the bitset
+core and interned systems each check is build-dominated and runs in seconds,
+so they are tier-1.  The remaining heavier exhaustive checks (program
+equivalence, the Definition 6.2 safety condition at n = 4) stay in
+``test_slow_model_checking.py``.
+"""
+
+from repro.kbp import check_implements, make_p0
+from repro.protocols import BasicProtocol, MinProtocol
+from repro.systems import gamma_basic, gamma_min
+
+
+class TestTheorem65AtN4:
+    def test_pmin_implements_p0_in_gamma_min_4_1(self):
+        report = check_implements(MinProtocol(1), make_p0(4), gamma_min(4, 1))
+        assert report.ok, report.mismatches
+        assert report.checked_states > 0
+
+
+class TestTheorem66AtN4:
+    def test_pbasic_implements_p0_in_gamma_basic_4_1(self):
+        report = check_implements(BasicProtocol(1), make_p0(4), gamma_basic(4, 1))
+        assert report.ok, report.mismatches
+        assert report.checked_states > 0

@@ -1,31 +1,38 @@
-"""Exhaustive model-checking tests at n = 4 (marked slow).
+"""Heavier exhaustive model-checking runs at n = 4 (marked slow).
 
-Run them with ``pytest -m slow`` (they take tens of seconds to minutes because
-the number of runs in the enumerated systems grows as 2^(n * horizon)).
+Run them with ``pytest -m slow`` (CI runs them on a schedule and on manual
+dispatch).  The Theorem 6.5 / 6.6 implementation checks at n = 4 used to live
+here; the bitset model-checking core made them fast enough for tier-1, so they
+moved to ``test_model_checking_n4.py``.  What remains are the checks that scan
+every one of the ~131k points with per-point Python logic (program
+equivalence over both limited contexts, the Definition 6.2 safety condition).
 """
 
 import pytest
 
-from repro.kbp import check_implements, make_p0, make_p1, programs_equivalent
+from repro.kbp import make_p0, make_p1, programs_equivalent
+from repro.kbp.safety import check_safety
 from repro.protocols import BasicProtocol, MinProtocol
 from repro.systems import gamma_basic, gamma_min
 
 pytestmark = pytest.mark.slow
 
 
-class TestTheorem65AtN4:
-    def test_pmin_implements_p0_in_gamma_min_4_1(self):
-        report = check_implements(MinProtocol(1), make_p0(4), gamma_min(4, 1))
-        assert report.ok, report.mismatches
-
-
-class TestTheorem66AtN4:
-    def test_pbasic_implements_p0_in_gamma_basic_4_1(self):
-        report = check_implements(BasicProtocol(1), make_p0(4), gamma_basic(4, 1))
-        assert report.ok, report.mismatches
-
-
 class TestSection7EquivalenceAtN4:
     def test_p1_equivalent_to_p0_in_gamma_min_4_1(self):
         system = gamma_min(4, 1).build_system(MinProtocol(1))
         assert programs_equivalent(make_p0(4), make_p1(4, 1), system)
+
+    def test_p1_equivalent_to_p0_in_gamma_basic_4_1(self):
+        system = gamma_basic(4, 1).build_system(BasicProtocol(1))
+        assert programs_equivalent(make_p0(4), make_p1(4, 1), system)
+
+
+class TestSafetyConditionAtN4:
+    def test_p0_safe_in_gamma_min_4_1(self):
+        report = check_safety(MinProtocol(1), gamma_min(4, 1))
+        assert report.safe, report.violations
+
+    def test_p0_safe_in_gamma_basic_4_1(self):
+        report = check_safety(BasicProtocol(1), gamma_basic(4, 1))
+        assert report.safe, report.violations

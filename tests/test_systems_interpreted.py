@@ -2,10 +2,13 @@
 
 import pytest
 
+from repro.api import SerialExecutor
+from repro.core.errors import ModelCheckingError
 from repro.failures import SendingOmissionModel
 from repro.protocols import BasicProtocol, MinProtocol
 from repro.systems import (
     Point,
+    PointSet,
     build_system,
     build_system_for_model,
     gamma_basic,
@@ -41,6 +44,88 @@ class TestBuildSystem:
         system = build_system_for_model(MinProtocol(1), model, horizon=1)
         for run_index, run in enumerate(system.runs):
             assert system.nonfaulty(Point(run_index, 0)) == run.nonfaulty
+
+    def test_wrong_length_preference_vector_rejected(self):
+        model = SendingOmissionModel(n=3, t=1)
+        patterns = [model.failure_free()]
+        with pytest.raises(ModelCheckingError, match=r"\(0, 1\)"):
+            build_system(MinProtocol(1), 3, horizon=1, patterns=patterns,
+                         preference_vectors=[(0, 1, 1), (0, 1)])
+
+    def test_executor_backend_builds_identical_systems(self):
+        model = SendingOmissionModel(n=3, t=1)
+        patterns = list(model.enumerate(horizon=1))
+        serial = build_system(MinProtocol(1), 3, horizon=1, patterns=patterns)
+        via_executor = build_system(MinProtocol(1), 3, horizon=1, patterns=patterns,
+                                    executor=SerialExecutor())
+        assert len(serial.runs) == len(via_executor.runs)
+        for left, right in zip(serial.runs, via_executor.runs):
+            assert left.preferences == right.preferences
+            assert left.pattern == right.pattern
+            assert left.rounds == right.rounds
+
+
+class TestDenseIndexing:
+    def test_point_index_round_trip(self):
+        model = SendingOmissionModel(n=3, t=0)
+        system = build_system_for_model(MinProtocol(0), model, horizon=2)
+        for index, point in enumerate(system.points):
+            assert system.point_index(point) == index
+            assert system.point_at(index) == point
+        assert system.num_points == len(system.points)
+        assert system.full_mask == (1 << system.num_points) - 1
+
+    def test_class_masks_partition_the_full_mask(self):
+        model = SendingOmissionModel(n=3, t=1)
+        system = build_system_for_model(MinProtocol(1), model, horizon=2)
+        for agent in range(3):
+            partition = system.partition(agent)
+            union = 0
+            for mask in partition.class_masks:
+                assert union & mask == 0  # disjoint
+                union |= mask
+            assert union == system.full_mask
+            # The first index is the lowest set bit of the class mask.
+            for mask, first in zip(partition.class_masks, partition.class_first_indices):
+                assert mask & -mask == 1 << first
+
+    def test_atom_masks_match_pointwise_definitions(self):
+        model = SendingOmissionModel(n=3, t=1)
+        system = build_system_for_model(MinProtocol(1), model, horizon=2)
+        for agent in range(3):
+            nonfaulty = system.point_set(system.nonfaulty_mask(agent))
+            init_zero = system.point_set(system.init_mask(agent, 0))
+            undecided = system.point_set(system.decided_mask(agent, None))
+            for point in system.points:
+                assert (point in nonfaulty) == (agent in system.nonfaulty(point))
+                assert (point in init_zero) == (system.run(point).preferences[agent] == 0)
+                assert (point in undecided) == (
+                    system.local_state(point, agent).decided is None)
+        for time in range(system.horizon + 1):
+            at_time = system.point_set(system.time_mask(time))
+            assert at_time == frozenset(
+                point for point in system.points if point.time == time)
+        assert system.time_mask(system.horizon + 5) == 0
+
+    def test_point_set_operators(self):
+        model = SendingOmissionModel(n=3, t=0)
+        system = build_system_for_model(MinProtocol(0), model, horizon=1)
+        everything = system.point_set(system.full_mask)
+        at_zero = system.point_set(system.time_mask(0))
+        at_one = system.point_set(system.time_mask(1))
+        assert isinstance(at_zero | at_one, PointSet)
+        assert (at_zero | at_one) == everything
+        assert (at_zero & at_one) == frozenset()
+        assert at_zero.isdisjoint(at_one)
+        assert (everything - at_one) == at_zero
+        assert (at_zero ^ everything) == at_one
+        assert at_zero <= everything
+        assert at_zero < everything
+        assert everything >= at_one
+        assert everything > at_one
+        assert not at_zero < at_zero
+        assert hash(at_zero) == hash(frozenset(at_zero))
+        assert "not a point" not in at_zero
 
 
 class TestEquivalenceClasses:
