@@ -1,0 +1,20 @@
+"""Benchmark E12 — the protocol sweep across failure models (SO / RO / GO).
+
+Times the behaviour half of the failure-model comparison at a moderate size
+(the theorem half is covered by ``bench_model_checking.py``, whose system
+builds dominate it).  The assertions pin the headline result: the paper's
+three protocols satisfy every EBA clause under all three omission models.
+"""
+
+from repro.experiments import failure_model_comparison
+
+
+def test_bench_failure_model_sweep(benchmark):
+    rows = benchmark.pedantic(failure_model_comparison.measure_behaviour,
+                              kwargs={"n": 8, "t": 2, "count": 25, "seed": 23},
+                              rounds=1, iterations=1)
+    assert len(rows) == 9
+    for row in rows:
+        assert row.agreement_violations == 0, row
+        assert row.validity_violations == 0, row
+        assert row.termination_violations == 0, row

@@ -5,8 +5,9 @@ The package implements, from scratch:
 
 * the runs-and-systems semantic model and an epistemic model checker
   (:mod:`repro.logic`, :mod:`repro.systems`);
-* the sending-omissions failure model and adversary constructions
-  (:mod:`repro.failures`);
+* the failure-model registry — sending omissions ``SO(t)`` (the paper's
+  model), receive omissions ``RO(t)``, general omissions ``GO(t)``, crash,
+  failure-free — and adversary constructions (:mod:`repro.failures`);
 * the three information-exchange protocols ``E_min``, ``E_basic``, ``E_fip``
   (:mod:`repro.exchange`);
 * the action protocols ``P_min``, ``P_basic``, and the polynomial-time optimal
@@ -72,9 +73,15 @@ from .core import (
 from .failures import (
     CrashModel,
     FailureFreeModel,
+    FailureModel,
     FailurePattern,
+    GeneralOmissionModel,
+    ReceiveOmissionModel,
     SendingOmissionModel,
+    available_models,
+    make_model,
     silent_adversary,
+    silent_receiver_adversary,
 )
 from .exchange import (
     BasicExchange,
@@ -135,8 +142,11 @@ __all__ = [
     "EagerOneProtocol",
     "Executor",
     "FailureFreeModel",
+    "FailureModel",
     "FailurePattern",
     "FullInformationExchange",
+    "GeneralOmissionModel",
+    "ReceiveOmissionModel",
     "MinProtocol",
     "MinimalExchange",
     "NOOP",
@@ -155,8 +165,10 @@ __all__ = [
     "Sweep",
     "SweepSpec",
     "Value",
+    "available_models",
     "check_eba",
     "compare_protocols",
+    "make_model",
     "corresponding_runs",
     "decide",
     "pairwise_comparison",
@@ -165,6 +177,7 @@ __all__ = [
     "run_metrics",
     "run_protocol",
     "silent_adversary",
+    "silent_receiver_adversary",
     "simulate",
     "sweep",
     "zero_chains",

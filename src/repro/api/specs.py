@@ -248,10 +248,24 @@ class Sweep:
         return replace(self, _scenarios=frozen,
                        _n=n if n is not None else self._n, _seed=None)
 
-    def on_random(self, n: int, t: int, count: int, seed: int = 0, **kwargs) -> "Sweep":
-        """Set the workload to :func:`repro.workloads.random_scenarios`, recording the seed."""
-        from ..workloads.scenarios import random_scenarios
-        scenarios = tuple(random_scenarios(n, t, count=count, seed=seed, **kwargs))
+    def on_random(self, n: int, t: int, count: int, seed: int = 0,
+                  model: object = None, **kwargs) -> "Sweep":
+        """Set the workload to a seeded random one, recording the seed.
+
+        Without ``model`` this is :func:`repro.workloads.random_scenarios`
+        (``SO(t)`` adversaries, the historical behaviour).  Pass ``model`` — a
+        :class:`~repro.failures.models.FailureModel` or a registered name such
+        as ``"general-omission"`` — to draw the adversaries from any other
+        failure model via :func:`repro.workloads.random_model_scenarios`;
+        extra ``kwargs`` go to the model's ``sample``.
+        """
+        if model is None:
+            from ..workloads.scenarios import random_scenarios
+            scenarios = tuple(random_scenarios(n, t, count=count, seed=seed, **kwargs))
+        else:
+            from ..workloads.scenarios import random_model_scenarios
+            scenarios = tuple(random_model_scenarios(n, t, count=count, model=model,
+                                                     seed=seed, **kwargs))
         return replace(self, _scenarios=scenarios, _n=n, _seed=seed)
 
     def with_n(self, n: int) -> "Sweep":

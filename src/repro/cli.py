@@ -6,7 +6,10 @@ Two entry points matter in practice:
   protocols and print the round-by-round trace, decision timeline, and the EBA
   specification check;
 * ``repro-eba experiment <id>`` — regenerate one of the paper's quantitative
-  results (E1..E11, see ``DESIGN.md`` / ``EXPERIMENTS.md``) and print its table.
+  results (E1..E12) and print its table;
+* ``repro-eba failure-models`` — compare the protocols (and the Theorem
+  6.5/6.6 implementation checks) across the registered failure models
+  (``SO(t)`` / ``RO(t)`` / ``GO(t)``).
 
 Examples
 --------
@@ -16,6 +19,8 @@ Examples
     repro-eba run --protocol min --n 5 --t 1 --preferences 0,1,1,1,1 --show-rounds
     repro-eba experiment e3 --n 12 --t 6
     repro-eba experiment e4 --n 8 --t 3 --parallel --jobs 4
+    repro-eba failure-models --model general-omission
+    repro-eba failure-models --model receive-omission --skip-theorems
     repro-eba list
 
 Both commands execute through the :mod:`repro.api` orchestration layer;
@@ -38,6 +43,7 @@ from .experiments import (
     decision_rounds,
     dominance_study,
     example_7_1,
+    failure_model_comparison,
     fip_gap,
     implementation_check,
     message_complexity,
@@ -45,6 +51,7 @@ from .experiments import (
     safety_check,
     termination_bound,
 )
+from .failures.models import available_models
 from .failures.pattern import FailurePattern
 from .protocols.base import ActionProtocol
 from .protocols.baselines import DelayedMinProtocol, NaiveZeroBiasedProtocol
@@ -91,6 +98,9 @@ EXPERIMENTS: Dict[str, tuple] = {
             lambda n, t, executor: optimality_probe.report(n=n, t=t, executor=executor)),
     "e11": ("Proposition 6.4 — the Definition 6.2 safety condition",
             lambda n, t, executor: safety_check.report(n=n, t=t, executor=executor)),
+    "e12": ("Failure-model comparison — SO vs RO vs GO (see also 'failure-models')",
+            lambda n, t, executor: failure_model_comparison.report(n=n, t=t,
+                                                                   executor=executor)),
 }
 
 
@@ -178,6 +188,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_failure_models(args: argparse.Namespace) -> int:
+    if args.model == "all":
+        models = list(failure_model_comparison.DEFAULT_MODELS)
+    else:
+        # Always keep the paper's SO(t) baseline in the comparison.
+        models = ["sending-omission"]
+        if args.model not in models:
+            models.append(args.model)
+    print(failure_model_comparison.report(
+        n=args.n,
+        t=args.t,
+        models=models,
+        count=args.count,
+        seed=args.seed,
+        include_theorems=not args.skip_theorems,
+        executor=_make_executor(args),
+    ))
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("available experiments (repro-eba experiment <id> [--n N --t T]):")
     for key, (description, _runner) in EXPERIMENTS.items():
@@ -223,6 +253,29 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--t", type=int, default=2)
     _add_backend_arguments(experiment_parser)
     experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    models_parser = subparsers.add_parser(
+        "failure-models",
+        help="compare the protocols across failure models (SO / RO / GO)")
+    models_parser.add_argument("--model",
+                               # No failure-free here: a comparison over the
+                               # model with no adversaries is meaningless, and
+                               # its t must be 0.
+                               choices=["all", *(name for name in available_models()
+                                                 if name != "failure-free")],
+                               default="all",
+                               help="failure model to compare against the SO(t) baseline "
+                                    "(default: all of SO/RO/GO)")
+    models_parser.add_argument("--n", type=int, default=4, help="number of agents")
+    models_parser.add_argument("--t", type=int, default=1, help="failure bound")
+    models_parser.add_argument("--count", type=int, default=12,
+                               help="random scenarios per model (plus named worst cases)")
+    models_parser.add_argument("--seed", type=int, default=23, help="workload seed")
+    models_parser.add_argument("--skip-theorems", action="store_true",
+                               help="skip the model-checked Theorem 6.5/6.6 verification "
+                                    "at n=3, t=1 (the exhaustive GO system takes ~30 s)")
+    _add_backend_arguments(models_parser)
+    models_parser.set_defaults(handler=_cmd_failure_models)
 
     list_parser = subparsers.add_parser("list", help="list experiments and protocols")
     list_parser.set_defaults(handler=_cmd_list)

@@ -9,8 +9,9 @@ infer decisions from the graph itself, because the full-information protocol
 lets them recompute every other agent's decisions from the states they have
 heard about.  We do keep the ``decided`` flag in the local state for protocol
 bookkeeping; the paper drops it to make corresponding runs literally identical,
-a property we do not rely on (corresponding runs are paired explicitly by
-initial state and failure pattern in :mod:`repro.simulation.runner`).
+a property we do not rely on (a :class:`repro.api.SweepSpec` pairs
+corresponding runs explicitly by initial global state — the same
+``(preferences, failure pattern)`` scenario across protocols).
 """
 
 from __future__ import annotations

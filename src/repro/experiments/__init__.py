@@ -13,6 +13,7 @@
 | E9 | Crash vs omission failures (0-bias ablation)    | :mod:`repro.experiments.crash_comparison` |
 | E10| Optimality probe (one-step deviations)          | :mod:`repro.experiments.optimality_probe` |
 | E11| Proposition 6.4 (the Definition 6.2 safety condition) | :mod:`repro.experiments.safety_check` |
+| E12| Failure-model comparison (SO vs RO vs GO)       | :mod:`repro.experiments.failure_model_comparison` |
 
 Each module exposes ``measure``-style functions returning structured rows and a
 ``report()`` function rendering a plain-text table; the benchmarks in
@@ -26,6 +27,7 @@ from . import (
     decision_rounds,
     dominance_study,
     example_7_1,
+    failure_model_comparison,
     fip_gap,
     implementation_check,
     message_complexity,
@@ -40,6 +42,7 @@ __all__ = [
     "decision_rounds",
     "dominance_study",
     "example_7_1",
+    "failure_model_comparison",
     "fip_gap",
     "implementation_check",
     "message_complexity",

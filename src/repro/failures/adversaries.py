@@ -14,6 +14,18 @@ that appear in the paper:
 * ``random_omission_adversaries`` — an iterator of random ``SO(t)`` patterns.
 * ``crash_staircase_adversary`` — the classical worst-case crash schedule where
   one agent crashes per round.
+
+and the receive-side constructions that the general/receive-omission models
+(``GO(t)`` / ``RO(t)``) open up:
+
+* ``silent_receiver_adversary`` — faulty agents that hear nothing (the
+  receive-side mirror of ``silent_adversary``);
+* ``partition_adversary`` — a general-omission cut: a faulty group is severed
+  from the rest in both directions (their sends are dropped as sending
+  omissions, their receives as receive omissions);
+* ``mixed_omission_chain_adversary`` — a chain of faulty agents each of which
+  only *talks to* its successor and only *listens to* its predecessor;
+* ``random_model_adversaries`` — random patterns from any registered model.
 """
 
 from __future__ import annotations
@@ -23,7 +35,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 from ..core.types import AgentId
-from .models import CrashModel, SendingOmissionModel
+from .models import CrashModel, FailureModel, SendingOmissionModel, resolve_model
 from .pattern import FailurePattern
 
 
@@ -123,6 +135,106 @@ def crash_staircase_adversary(n: int, t: int, horizon: Optional[int] = None) -> 
         reached = [(k + 1) % n]
         crashes[k] = (k, reached)
     return model.crash_pattern(crashes, horizon)
+
+
+def silent_receiver_adversary(n: int, faulty: Iterable[AgentId], horizon: int,
+                              from_round: int = 0) -> FailurePattern:
+    """Faulty agents that never receive any message (``RO(t)``'s worst case).
+
+    The receive-side mirror of :func:`silent_adversary`: the agents in
+    ``faulty`` drop every incoming message from rounds ``from_round`` to
+    ``horizon - 1`` while their own messages go through.  Everything the rest
+    of the system learns still reaches everyone nonfaulty, but the deaf agents
+    act on their initial preference alone.
+    """
+    return FailurePattern.deaf(n=n, faulty=faulty, horizon=horizon, from_round=from_round)
+
+
+def partition_adversary(n: int, isolated: Iterable[AgentId], horizon: int,
+                        from_round: int = 0) -> FailurePattern:
+    """A general-omission cut: the ``isolated`` (faulty) group is severed from the rest.
+
+    For rounds ``from_round .. horizon - 1`` no message crosses the cut in
+    either direction: messages *from* an isolated agent to the rest are
+    dropped as sending omissions, messages *to* an isolated agent from the
+    rest as receive omissions — every blocked edge is charged to its isolated
+    endpoint, so the pattern belongs to ``GO(|isolated|)``.  Communication
+    within each side is untouched, which makes this the canonical
+    "network partition" scenario general omissions can express and ``SO(t)``
+    cannot (under ``SO(t)`` the isolated group would still hear everything).
+    """
+    isolated_set = frozenset(isolated)
+    for agent in isolated_set:
+        if not 0 <= agent < n:
+            raise ConfigurationError(f"isolated agent {agent} outside 0..{n - 1}")
+    if not isolated_set:
+        return FailurePattern.failure_free(n)
+    rest = [agent for agent in range(n) if agent not in isolated_set]
+    send = set()
+    receive = set()
+    for round_index in range(from_round, horizon):
+        for inside in isolated_set:
+            for outside in rest:
+                send.add((round_index, inside, outside))
+                receive.add((round_index, outside, inside))
+    return FailurePattern(n=n, faulty=isolated_set, omissions=frozenset(send),
+                          receive_omissions=frozenset(receive))
+
+
+def mixed_omission_chain_adversary(n: int, chain: Sequence[AgentId],
+                                   horizon: Optional[int] = None) -> FailurePattern:
+    """A chain of faulty agents, each talking only forward and listening only backward.
+
+    Agent ``chain[k]`` delivers its messages only to ``chain[k + 1]`` (all
+    other sends are dropped as sending omissions) and accepts messages only
+    from ``chain[k - 1]`` (all other receives are dropped as receive
+    omissions).  Every chain agent is faulty, so the pattern belongs to
+    ``GO(len(chain))``.  Information can still flow along the chain — the
+    general-omission cousin of :func:`hidden_chain_adversary`, with the
+    receive side closed as well, so not even the chain's members learn what
+    the rest of the system knows.
+    """
+    if len(set(chain)) != len(chain):
+        raise ConfigurationError("chain agents must be distinct")
+    for agent in chain:
+        if not 0 <= agent < n:
+            raise ConfigurationError(f"chain agent {agent} outside 0..{n - 1}")
+    if horizon is None:
+        horizon = len(chain) + 2
+    chain_set = frozenset(chain)
+    send = set()
+    receive = set()
+    for position, agent in enumerate(chain):
+        successor = chain[position + 1] if position + 1 < len(chain) else None
+        predecessor = chain[position - 1] if position > 0 else None
+        for round_index in range(horizon):
+            for other in range(n):
+                if other == agent:
+                    continue
+                if other != successor:
+                    send.add((round_index, agent, other))
+                # Receive omissions by `agent` from senders outside the chain
+                # link; edges whose sender is a chain agent are already dropped
+                # by that sender, so charge them once (to the sender).
+                if other != predecessor and other not in chain_set:
+                    receive.add((round_index, other, agent))
+    return FailurePattern(n=n, faulty=chain_set, omissions=frozenset(send),
+                          receive_omissions=frozenset(receive))
+
+
+def random_model_adversaries(model: "FailureModel | str", n: int, t: int,
+                             horizon: int, count: int, seed: int = 0,
+                             **sample_kwargs) -> List[FailurePattern]:
+    """A reproducible list of random adversaries drawn from any registered model.
+
+    ``model`` is a :class:`~repro.failures.models.FailureModel` instance or a
+    registered name (``"general-omission"``, ``"ro"``, ``"crash"``, ...);
+    ``sample_kwargs`` are forwarded to the model's ``sample`` (for the
+    edge-omission models e.g. ``omission_probability=0.3``).
+    """
+    resolved = resolve_model(model, n, t)
+    rng = random.Random(seed)
+    return [resolved.sample(rng, horizon, **sample_kwargs) for _ in range(count)]
 
 
 def random_omission_adversaries(n: int, t: int, horizon: int, count: int,

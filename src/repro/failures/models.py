@@ -1,19 +1,37 @@
-"""Failure models: families of admissible failure patterns.
+"""Failure models: families of admissible failure patterns, behind a registry.
 
 A *failure model* (Section 3) is a set of failure patterns, typically
-parameterised by an upper bound ``t`` on the number of faulty agents.  This
-module provides the models used by the paper:
+parameterised by an upper bound ``t`` on the number of faulty agents.  The
+paper proves its optimality results over the sending-omissions model ``SO(t)``;
+this module keeps the whole pipeline parametric over the model family so that
+contexts, adversaries, and experiments can swap the failure regime:
 
-* :class:`SendingOmissionModel` — the model ``SO(t)``: at most ``t`` faulty
-  agents, and only faulty agents may omit to send messages.
-* :class:`CrashModel` — the crash-failure special case, where once an agent
-  omits a message to some agent it omits all later messages to everyone.
-* :class:`FailureFreeModel` — no failures at all (used by the Section 8
-  cost analysis, which focuses on failure-free runs).
+* :class:`SendingOmissionModel` — ``SO(t)``: at most ``t`` faulty agents, and
+  only faulty agents may omit to *send* messages (the paper's model).
+* :class:`ReceiveOmissionModel` — ``RO(t)``: only faulty agents may omit to
+  *receive* messages; everything they send is delivered.
+* :class:`GeneralOmissionModel` — ``GO(t)``: faulty agents may drop both
+  outgoing and incoming messages (sending **and** receive omissions).
+* :class:`CrashModel` — the crash-failure special case of ``SO(t)``, where once
+  an agent omits a message to some agent it omits all later messages to
+  everyone.
+* :class:`FailureFreeModel` — no failures at all (used by the Section 8 cost
+  analysis, which focuses on failure-free runs).
 
 Each model can validate a pattern, generate random members, and (for small
 systems) enumerate every pattern up to a bounded horizon — the latter is what
-the epistemic model checker uses to build full interpreted systems.
+the epistemic model checker uses to build full interpreted systems.  The
+edge-omission models (``SO``/``RO``/``GO``) share one validate/sample/enumerate
+machinery parameterised by which *slots* — per-(round, sender, receiver) edges
+charged to a faulty endpoint — the model opens up
+(:class:`EdgeOmissionModel`).
+
+Models are registered by name (:func:`register_model`) so callers — contexts,
+workload generators, the ``repro-eba failure-models`` CLI — can resolve them
+from strings::
+
+    >>> make_model("general-omission", n=3, t=1).name
+    'GO(1)'
 """
 
 from __future__ import annotations
@@ -21,11 +39,15 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, ClassVar, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
 from ..core.errors import ConfigurationError, FailureModelError
 from ..core.types import AgentId
-from .pattern import FailurePattern
+from .pattern import FailurePattern, Omission
+
+#: A slot list: the blocked-triple candidates a model opens for one faulty set,
+#: split into sender-charged and receiver-charged edges.
+SlotLists = Tuple[List[Omission], List[Omission]]
 
 
 @dataclass(frozen=True)
@@ -38,10 +60,23 @@ class FailureModel:
         Number of agents.
     t:
         Maximum number of faulty agents allowed by the model.
+
+    Class attributes
+    ----------------
+    allows_send_omissions / allows_receive_omissions:
+        Which kinds of charged events the model's patterns may contain; the
+        shared :meth:`validate` enforces them.
+    samples_per_edge:
+        Whether :meth:`sample` accepts an ``omission_probability`` keyword
+        (true for the edge-omission models, false for crash/failure-free).
     """
 
     n: int
     t: int
+
+    allows_send_omissions: ClassVar[bool] = True
+    allows_receive_omissions: ClassVar[bool] = False
+    samples_per_edge: ClassVar[bool] = False
 
     def __post_init__(self) -> None:
         if self.n <= 0:
@@ -67,7 +102,14 @@ class FailureModel:
         return True
 
     def validate(self, pattern: FailurePattern) -> FailurePattern:
-        """Validate ``pattern`` against the model, raising :class:`FailureModelError` if illegal."""
+        """Validate ``pattern`` against the model, raising :class:`FailureModelError` if illegal.
+
+        The shared checks: the pattern is for the right number of agents, the
+        faulty set respects the bound ``t``, and the pattern only uses the
+        kinds of charged events the model allows.  (That a sending omission's
+        sender and a receive omission's receiver are faulty is enforced by
+        :class:`~repro.failures.pattern.FailurePattern` itself.)
+        """
         if pattern.n != self.n:
             raise FailureModelError(
                 f"pattern is for {pattern.n} agents but the model expects {self.n}"
@@ -75,6 +117,16 @@ class FailureModel:
         if pattern.num_faulty > self.t:
             raise FailureModelError(
                 f"pattern has {pattern.num_faulty} faulty agents but the model allows at most {self.t}"
+            )
+        if pattern.omissions and not self.allows_send_omissions:
+            raise FailureModelError(
+                f"{self.name} does not admit sending omissions "
+                f"({len(pattern.omissions)} present)"
+            )
+        if pattern.receive_omissions and not self.allows_receive_omissions:
+            raise FailureModelError(
+                f"{self.name} does not admit receive omissions "
+                f"({len(pattern.receive_omissions)} present)"
             )
         return pattern
 
@@ -84,11 +136,11 @@ class FailureModel:
         """The failure-free pattern (a member of every model)."""
         return FailurePattern.failure_free(self.n)
 
-    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+    def sample(self, rng: random.Random, horizon: int, **kwargs) -> FailurePattern:
         """Draw a random pattern admissible under this model (subclass responsibility)."""
         raise NotImplementedError
 
-    def enumerate(self, horizon: int) -> Iterator[FailurePattern]:
+    def enumerate(self, horizon: int, max_faulty: Optional[int] = None) -> Iterator[FailurePattern]:
         """Enumerate every admissible pattern up to ``horizon`` rounds (subclass responsibility).
 
         Warning: the number of patterns is exponential in ``n * horizon``; this
@@ -98,17 +150,38 @@ class FailureModel:
 
 
 @dataclass(frozen=True)
-class SendingOmissionModel(FailureModel):
-    """The sending-omissions model ``SO(t)`` of Section 3."""
+class EdgeOmissionModel(FailureModel):
+    """Shared machinery for the per-edge omission models (``SO``/``RO``/``GO``).
 
-    @property
-    def name(self) -> str:
-        return f"SO({self.t})"
+    A subclass describes itself by :meth:`slots`: for a given faulty set and
+    horizon, which (round, sender, receiver) edges may be dropped, split into
+    sender-charged and receiver-charged lists.  Enumeration ranges over every
+    faulty set of size at most ``t`` and every subset of the combined slot
+    list; sampling flips an independent coin per slot; counting is
+    ``Σ C(n, k) · 2^(#slots(k))``.
+    """
+
+    samples_per_edge: ClassVar[bool] = True
+
+    def slots(self, faulty: Sequence[AgentId], horizon: int) -> SlotLists:
+        """The droppable edges for one faulty set: ``(send_slots, receive_slots)``.
+
+        Subclass responsibility.  Slot order is part of the model's canonical
+        enumeration order, so keep it deterministic.
+        """
+        raise NotImplementedError
+
+    # -- shared generation ----------------------------------------------------------
+
+    def _pattern(self, faulty: frozenset, send: Iterable[Omission],
+                 receive: Iterable[Omission]) -> FailurePattern:
+        return FailurePattern(n=self.n, faulty=faulty, omissions=frozenset(send),
+                              receive_omissions=frozenset(receive))
 
     def sample(self, rng: random.Random, horizon: int,
                omission_probability: float = 0.5,
                num_faulty: Optional[int] = None) -> FailurePattern:
-        """Draw a random ``SO(t)`` pattern.
+        """Draw a random pattern: pick a faulty set, then flip a coin per slot.
 
         Parameters
         ----------
@@ -117,9 +190,91 @@ class SendingOmissionModel(FailureModel):
         horizon:
             Rounds ``0 .. horizon - 1`` may contain omissions.
         omission_probability:
-            Per (round, faulty sender, receiver) probability of dropping the message.
+            Per-slot probability of dropping the edge.
         num_faulty:
             Exact number of faulty agents; defaults to a uniform draw in ``0..t``.
+        """
+        if num_faulty is None:
+            num_faulty = rng.randint(0, self.t)
+        if not 0 <= num_faulty <= self.t:
+            raise ConfigurationError(f"num_faulty={num_faulty} outside 0..{self.t}")
+        faulty = frozenset(rng.sample(range(self.n), num_faulty))
+        send_slots, receive_slots = self.slots(tuple(sorted(faulty)), horizon)
+        send = [slot for slot in send_slots if rng.random() < omission_probability]
+        receive = [slot for slot in receive_slots if rng.random() < omission_probability]
+        return self._pattern(faulty, send, receive)
+
+    def enumerate(self, horizon: int, max_faulty: Optional[int] = None) -> Iterator[FailurePattern]:
+        """Enumerate all patterns with blocked edges confined to ``0 .. horizon - 1``.
+
+        The enumeration ranges over every faulty set of size at most
+        ``min(t, max_faulty)`` and, per faulty set, every subset of the slot
+        list — sender-charged slots first, receiver-charged slots second.
+        Self-omissions are not enumerated (they are unobservable and only blow
+        up the state space), and an edge between two faulty agents is opened
+        as exactly one slot, so no two enumerated patterns are
+        delivery-equivalent.
+        """
+        bound = self.t if max_faulty is None else min(self.t, max_faulty)
+        for size in range(bound + 1):
+            for faulty in itertools.combinations(range(self.n), size):
+                faulty_set = frozenset(faulty)
+                send_slots, receive_slots = self.slots(faulty, horizon)
+                num_send = len(send_slots)
+                slots = send_slots + receive_slots
+                for blocked_mask in itertools.product((False, True), repeat=len(slots)):
+                    send = frozenset(
+                        slot for slot, blocked in zip(send_slots, blocked_mask[:num_send])
+                        if blocked
+                    )
+                    receive = frozenset(
+                        slot for slot, blocked in zip(receive_slots, blocked_mask[num_send:])
+                        if blocked
+                    )
+                    yield self._pattern(faulty_set, send, receive)
+
+    def count_patterns(self, horizon: int, max_faulty: Optional[int] = None) -> int:
+        """The number of patterns :meth:`enumerate` would yield (without generating them)."""
+        bound = self.t if max_faulty is None else min(self.t, max_faulty)
+        total = 0
+        for size in range(bound + 1):
+            representative = tuple(range(size))
+            send_slots, receive_slots = self.slots(representative, horizon)
+            total += _binomial(self.n, size) * (2 ** (len(send_slots) + len(receive_slots)))
+        return total
+
+
+@dataclass(frozen=True)
+class SendingOmissionModel(EdgeOmissionModel):
+    """The sending-omissions model ``SO(t)`` of Section 3."""
+
+    allows_send_omissions: ClassVar[bool] = True
+    allows_receive_omissions: ClassVar[bool] = False
+
+    @property
+    def name(self) -> str:
+        return f"SO({self.t})"
+
+    def slots(self, faulty: Sequence[AgentId], horizon: int) -> SlotLists:
+        """Sender-charged edges only: every (round, faulty sender, other receiver)."""
+        send = [
+            (round_index, sender, receiver)
+            for sender in faulty
+            for round_index in range(horizon)
+            for receiver in range(self.n)
+            if receiver != sender
+        ]
+        return send, []
+
+    def sample(self, rng: random.Random, horizon: int,
+               omission_probability: float = 0.5,
+               num_faulty: Optional[int] = None) -> FailurePattern:
+        """Draw a random ``SO(t)`` pattern.
+
+        Overrides the shared per-slot sampler only to preserve the historical
+        draw order (per faulty agent, then round, then receiver, in faulty-set
+        iteration order), so seeded workloads generated before the model
+        registry existed stay bit-for-bit reproducible.
         """
         if num_faulty is None:
             num_faulty = rng.randint(0, self.t)
@@ -136,40 +291,79 @@ class SendingOmissionModel(FailureModel):
                         omissions.add((round_index, agent, receiver))
         return FailurePattern(n=self.n, faulty=faulty, omissions=frozenset(omissions))
 
-    def enumerate(self, horizon: int, max_faulty: Optional[int] = None) -> Iterator[FailurePattern]:
-        """Enumerate all ``SO(t)`` patterns with omissions confined to ``0 .. horizon - 1``.
 
-        The enumeration ranges over every faulty set of size at most
-        ``min(t, max_faulty)`` and, for each faulty agent, every subset of
-        (round, receiver) pairs to block.  Self-omissions are not enumerated
-        (they are unobservable and only blow up the state space).
-        """
-        bound = self.t if max_faulty is None else min(self.t, max_faulty)
-        for size in range(bound + 1):
-            for faulty in itertools.combinations(range(self.n), size):
-                faulty_set = frozenset(faulty)
-                slots: List[tuple[int, AgentId, AgentId]] = [
-                    (round_index, sender, receiver)
-                    for sender in faulty
-                    for round_index in range(horizon)
-                    for receiver in range(self.n)
-                    if receiver != sender
-                ]
-                for blocked_mask in itertools.product((False, True), repeat=len(slots)):
-                    omissions = frozenset(
-                        slot for slot, blocked in zip(slots, blocked_mask) if blocked
-                    )
-                    yield FailurePattern(n=self.n, faulty=faulty_set, omissions=omissions)
+@dataclass(frozen=True)
+class ReceiveOmissionModel(EdgeOmissionModel):
+    """The receive-omissions model ``RO(t)``: faulty agents may fail to listen.
 
-    def count_patterns(self, horizon: int, max_faulty: Optional[int] = None) -> int:
-        """The number of patterns :meth:`enumerate` would yield (without generating them)."""
-        bound = self.t if max_faulty is None else min(self.t, max_faulty)
-        total = 0
-        for size in range(bound + 1):
-            slots_per_set = size * horizon * (self.n - 1)
-            num_sets = _binomial(self.n, size)
-            total += num_sets * (2 ** slots_per_set)
-        return total
+    The mirror image of ``SO(t)``: every message a faulty agent *sends* is
+    delivered, but it may drop any subset of its *incoming* messages.  A
+    nonfaulty agent therefore always hears from every nonfaulty agent — but,
+    unlike under ``SO(t)``, a faulty agent's silence towards nobody can hide
+    information: what the faulty agent failed to learn never propagates.
+    """
+
+    allows_send_omissions: ClassVar[bool] = False
+    allows_receive_omissions: ClassVar[bool] = True
+
+    @property
+    def name(self) -> str:
+        return f"RO({self.t})"
+
+    def slots(self, faulty: Sequence[AgentId], horizon: int) -> SlotLists:
+        """Receiver-charged edges only: every (round, other sender, faulty receiver)."""
+        receive = [
+            (round_index, sender, receiver)
+            for receiver in faulty
+            for round_index in range(horizon)
+            for sender in range(self.n)
+            if sender != receiver
+        ]
+        return [], receive
+
+
+@dataclass(frozen=True)
+class GeneralOmissionModel(EdgeOmissionModel):
+    """The general-omissions model ``GO(t)``: faulty agents drop sends **and** receives.
+
+    Every edge touching a faulty agent may be dropped.  An edge whose sender
+    is faulty is opened as a sender-charged slot; an edge whose receiver (but
+    not sender) is faulty is opened as a receiver-charged slot — each
+    droppable edge appears exactly once, so the enumeration has no
+    delivery-equivalent duplicates, and restricting the enumeration to the
+    patterns with no receive omissions reproduces ``SO(t)`` exactly
+    (see :meth:`send_restriction`).
+    """
+
+    allows_send_omissions: ClassVar[bool] = True
+    allows_receive_omissions: ClassVar[bool] = True
+
+    @property
+    def name(self) -> str:
+        return f"GO({self.t})"
+
+    def slots(self, faulty: Sequence[AgentId], horizon: int) -> SlotLists:
+        """Sender-charged slots for faulty senders; receiver-charged for the rest."""
+        faulty_set = frozenset(faulty)
+        send = [
+            (round_index, sender, receiver)
+            for sender in faulty
+            for round_index in range(horizon)
+            for receiver in range(self.n)
+            if receiver != sender
+        ]
+        receive = [
+            (round_index, sender, receiver)
+            for receiver in faulty
+            for round_index in range(horizon)
+            for sender in range(self.n)
+            if sender != receiver and sender not in faulty_set
+        ]
+        return send, receive
+
+    def send_restriction(self) -> SendingOmissionModel:
+        """The ``SO(t)`` model this model degenerates to without receive events."""
+        return SendingOmissionModel(n=self.n, t=self.t)
 
 
 @dataclass(frozen=True)
@@ -183,6 +377,9 @@ class CrashModel(FailureModel):
     crash round, reaches only the given subset during it, and sends nothing
     afterwards.
     """
+
+    allows_send_omissions: ClassVar[bool] = True
+    allows_receive_omissions: ClassVar[bool] = False
 
     @property
     def name(self) -> str:
@@ -273,6 +470,9 @@ class CrashModel(FailureModel):
 class FailureFreeModel(FailureModel):
     """A degenerate model containing only the failure-free pattern."""
 
+    allows_send_omissions: ClassVar[bool] = False
+    allows_receive_omissions: ClassVar[bool] = False
+
     def __init__(self, n: int) -> None:  # noqa: D401 - thin constructor
         super().__init__(n=n, t=0)
 
@@ -282,15 +482,107 @@ class FailureFreeModel(FailureModel):
 
     def validate(self, pattern: FailurePattern) -> FailurePattern:
         super().validate(pattern)
-        if pattern.omissions or pattern.faulty:
+        if pattern.faulty:
             raise FailureModelError("failure-free model admits only the empty pattern")
         return pattern
 
     def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
         return self.failure_free()
 
-    def enumerate(self, horizon: int) -> Iterator[FailurePattern]:
+    def enumerate(self, horizon: int, max_faulty: Optional[int] = None) -> Iterator[FailurePattern]:
         yield self.failure_free()
+
+
+# ------------------------------------------------------------------ the model registry
+
+#: Registered model name -> model class.  Populated by :func:`register_model`;
+#: the first name a class registers under is its canonical key.
+MODEL_REGISTRY: Dict[str, Type[FailureModel]] = {}
+
+_CANONICAL_KEYS: List[str] = []
+
+
+def register_model(*keys: str) -> Callable[[Type[FailureModel]], Type[FailureModel]]:
+    """Class decorator: register a failure model under one or more names.
+
+    The first key is canonical (used by :func:`available_models` and reports);
+    the rest are aliases (e.g. ``"so"`` for ``"sending-omission"``).
+    """
+    if not keys:
+        raise ConfigurationError("register_model needs at least one name")
+
+    def decorate(cls: Type[FailureModel]) -> Type[FailureModel]:
+        for key in keys:
+            existing = MODEL_REGISTRY.get(key)
+            if existing is not None and existing is not cls:
+                raise ConfigurationError(
+                    f"failure-model name {key!r} already registered to {existing.__name__}"
+                )
+            MODEL_REGISTRY[key] = cls
+        if keys[0] not in _CANONICAL_KEYS:
+            _CANONICAL_KEYS.append(keys[0])
+        return cls
+
+    return decorate
+
+
+def available_models() -> Tuple[str, ...]:
+    """The canonical names of every registered failure model, in registration order."""
+    return tuple(_CANONICAL_KEYS)
+
+
+def model_class(key: str) -> Type[FailureModel]:
+    """Resolve a registered model name (or alias) to its class."""
+    try:
+        return MODEL_REGISTRY[key.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown failure model {key!r}; available: {', '.join(available_models())}"
+        ) from None
+
+
+def make_model(key: str, n: int, t: int = 0) -> FailureModel:
+    """Instantiate a registered failure model by name.
+
+    ``FailureFreeModel`` takes no failure bound; every other model is built as
+    ``cls(n=n, t=t)``.
+    """
+    cls = model_class(key)
+    if cls is FailureFreeModel:
+        if t != 0:
+            raise ConfigurationError("the failure-free model has no failure bound; use t=0")
+        return cls(n)
+    return cls(n=n, t=t)
+
+
+def resolve_model(model: "FailureModel | str", n: int, t: int) -> FailureModel:
+    """Coerce a model-or-name argument to a :class:`FailureModel` for ``(n, t)``.
+
+    Strings go through :func:`make_model`; instances must match the requested
+    ``(n, t)`` exactly — a looser instance bound would make contexts and
+    workloads silently enumerate/sample more faulty agents than the declared
+    ``t``, and downstream checks (EBA deadlines, the knowledge-based programs)
+    are calibrated to that ``t``.
+    """
+    if isinstance(model, str):
+        return make_model(model, n, t)
+    if model.n != n:
+        raise ConfigurationError(
+            f"failure model {model.name} is for {model.n} agents, expected {n}"
+        )
+    if model.t != t:
+        raise ConfigurationError(
+            f"failure model {model.name} has failure bound {model.t}, "
+            f"but the caller asks for t={t}; build the model for t={t} instead"
+        )
+    return model
+
+
+register_model("sending-omission", "so")(SendingOmissionModel)
+register_model("receive-omission", "ro")(ReceiveOmissionModel)
+register_model("general-omission", "go")(GeneralOmissionModel)
+register_model("crash")(CrashModel)
+register_model("failure-free", "none")(FailureFreeModel)
 
 
 def _binomial(n: int, k: int) -> int:

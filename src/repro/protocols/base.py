@@ -2,8 +2,9 @@
 
 An action protocol maps local states of an information-exchange protocol to
 actions (``decide(v)`` or ``noop``).  Each concrete protocol also knows which
-information-exchange protocol it is designed for, so that the simulation runner
-can construct matching ``(E, P)`` pairs from a protocol object alone.
+information-exchange protocol it is designed for, so that the simulation engine
+and the :mod:`repro.api` specs can construct matching ``(E, P)`` pairs from a
+protocol object alone.
 """
 
 from __future__ import annotations

@@ -1,4 +1,11 @@
-"""Interpreted systems, points, and EBA context descriptors."""
+"""Interpreted systems, points, and EBA context descriptors.
+
+Index convention: a point ``(r, m)`` — run index ``r``, time ``m`` — maps to
+the dense bit index ``r * (horizon + 1) + m``, run-major and time-minor, in
+exactly the order of ``InterpretedSystem.points``.  Every point set the model
+checker produces (:class:`PointSet`) is a bitmask over that range; see
+``docs/performance.md`` for the full story.
+"""
 
 from .contexts import EBAContext, gamma_basic, gamma_fip, gamma_min
 from .interpreted import (

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, TYPE_CHECKING
 
-from ..failures.models import FailureModel, SendingOmissionModel
+from ..failures.models import FailureModel, SendingOmissionModel, resolve_model
 from ..failures.pattern import FailurePattern
 from ..protocols.base import ActionProtocol
 from .interpreted import InterpretedSystem, build_system
@@ -75,47 +75,59 @@ class EBAContext:
                             executor=executor)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.name}(n={self.n}, t={self.t}, horizon={self.horizon})"
+        return (f"{self.name}(n={self.n}, t={self.t}, horizon={self.horizon}, "
+                f"model={self.failure_model.name})")
 
 
 def _default_horizon(t: int, horizon: Optional[int]) -> int:
     return t + 2 if horizon is None else horizon
 
 
-def gamma_min(n: int, t: int, horizon: Optional[int] = None,
-              max_faulty_enumerated: Optional[int] = None) -> EBAContext:
-    """The minimal context ``γ_{min,n,t}`` (pair it with :class:`~repro.protocols.MinProtocol`)."""
+def _make_context(name: str, n: int, t: int, horizon: Optional[int],
+                  max_faulty_enumerated: Optional[int],
+                  failure_model: "FailureModel | str | None") -> EBAContext:
+    if failure_model is None:
+        model = SendingOmissionModel(n=n, t=t)
+    else:
+        model = resolve_model(failure_model, n, t)
     return EBAContext(
-        name="gamma_min",
+        name=name,
         n=n,
         t=t,
         horizon=_default_horizon(t, horizon),
-        failure_model=SendingOmissionModel(n=n, t=t),
+        failure_model=model,
         max_faulty_enumerated=max_faulty_enumerated,
     )
+
+
+def gamma_min(n: int, t: int, horizon: Optional[int] = None,
+              max_faulty_enumerated: Optional[int] = None,
+              failure_model: "FailureModel | str | None" = None) -> EBAContext:
+    """The minimal context ``γ_{min,n,t}`` (pair it with :class:`~repro.protocols.MinProtocol`).
+
+    ``failure_model`` swaps the failure regime: the paper's default is
+    ``SO(t)``, but any registered model (an instance, or a name such as
+    ``"general-omission"`` resolved via
+    :func:`repro.failures.models.make_model`) can be enumerated instead.
+    """
+    return _make_context("gamma_min", n, t, horizon, max_faulty_enumerated, failure_model)
 
 
 def gamma_basic(n: int, t: int, horizon: Optional[int] = None,
-                max_faulty_enumerated: Optional[int] = None) -> EBAContext:
-    """The basic context ``γ_{basic,n,t}`` (pair it with :class:`~repro.protocols.BasicProtocol`)."""
-    return EBAContext(
-        name="gamma_basic",
-        n=n,
-        t=t,
-        horizon=_default_horizon(t, horizon),
-        failure_model=SendingOmissionModel(n=n, t=t),
-        max_faulty_enumerated=max_faulty_enumerated,
-    )
+                max_faulty_enumerated: Optional[int] = None,
+                failure_model: "FailureModel | str | None" = None) -> EBAContext:
+    """The basic context ``γ_{basic,n,t}`` (pair it with :class:`~repro.protocols.BasicProtocol`).
+
+    ``failure_model`` swaps the failure regime exactly as in :func:`gamma_min`.
+    """
+    return _make_context("gamma_basic", n, t, horizon, max_faulty_enumerated, failure_model)
 
 
 def gamma_fip(n: int, t: int, horizon: Optional[int] = None,
-              max_faulty_enumerated: Optional[int] = None) -> EBAContext:
-    """The full-information context ``γ_{fip,n,t}`` (pair it with ``OptimalFipProtocol``)."""
-    return EBAContext(
-        name="gamma_fip",
-        n=n,
-        t=t,
-        horizon=_default_horizon(t, horizon),
-        failure_model=SendingOmissionModel(n=n, t=t),
-        max_faulty_enumerated=max_faulty_enumerated,
-    )
+              max_faulty_enumerated: Optional[int] = None,
+              failure_model: "FailureModel | str | None" = None) -> EBAContext:
+    """The full-information context ``γ_{fip,n,t}`` (pair it with ``OptimalFipProtocol``).
+
+    ``failure_model`` swaps the failure regime exactly as in :func:`gamma_min`.
+    """
+    return _make_context("gamma_fip", n, t, horizon, max_faulty_enumerated, failure_model)

@@ -16,8 +16,12 @@ from .scenarios import (
     failure_free_scenarios,
     hidden_chain_scenario,
     intro_counterexample,
+    mixed_chain_scenario,
+    partition_scenario,
+    random_model_scenarios,
     random_scenarios,
     silent_fault_sweep,
+    silent_receiver_scenario,
 )
 
 __all__ = [
@@ -29,10 +33,14 @@ __all__ = [
     "failure_free_scenarios",
     "hidden_chain_scenario",
     "intro_counterexample",
+    "mixed_chain_scenario",
+    "partition_scenario",
+    "random_model_scenarios",
     "random_preferences",
     "random_scenarios",
     "resolve_rng",
     "silent_fault_sweep",
+    "silent_receiver_scenario",
     "single_one",
     "single_zero",
     "with_zero_fraction",

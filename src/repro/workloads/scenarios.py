@@ -12,7 +12,12 @@ pattern.  This module provides:
   Proposition 8.2;
 * :func:`random_scenarios` — reproducible random workloads mixing preference
   vectors and ``SO(t)`` adversaries (used by the property tests, the dominance
-  study, and the FIP-gap experiment).
+  study, and the FIP-gap experiment);
+* :func:`random_model_scenarios` — the same shape for *any* registered failure
+  model (``"general-omission"``, ``"receive-omission"``, ``"crash"``, ...);
+* :func:`silent_receiver_scenario`, :func:`partition_scenario`,
+  :func:`mixed_chain_scenario` — the named receive-side/general-omission
+  scenarios used by the failure-model comparison experiment.
 """
 
 from __future__ import annotations
@@ -24,9 +29,12 @@ from ..core.types import PreferenceVector
 from ..failures.adversaries import (
     hidden_chain_adversary,
     intro_counterexample_adversary,
+    mixed_omission_chain_adversary,
+    partition_adversary,
     silent_adversary,
+    silent_receiver_adversary,
 )
-from ..failures.models import SendingOmissionModel
+from ..failures.models import FailureModel, SendingOmissionModel, resolve_model
 from ..failures.pattern import FailurePattern
 from ..simulation.runner import Scenario
 from .preferences import SeedLike, all_ones, all_zeros, random_preferences, single_zero
@@ -103,9 +111,32 @@ def random_scenarios(n: int, t: int, count: int, seed: SeedLike = 0,
     spawned from a master instance) and its workload is a pure function of
     that stream's state.
     """
+    return random_model_scenarios(n, t, count, model=SendingOmissionModel(n=n, t=t),
+                                  seed=seed, horizon=horizon,
+                                  zero_probability=zero_probability,
+                                  omission_probability=omission_probability)
+
+
+def random_model_scenarios(n: int, t: int, count: int,
+                           model: "FailureModel | str" = "sending-omission",
+                           seed: SeedLike = 0,
+                           horizon: Optional[int] = None,
+                           zero_probability: float = 0.5,
+                           **sample_kwargs) -> List[Scenario]:
+    """A reproducible random workload of (preferences, pattern) pairs for any model.
+
+    The generalisation of :func:`random_scenarios` over the failure-model
+    registry: ``model`` is a :class:`~repro.failures.models.FailureModel`
+    instance or a registered name, and ``sample_kwargs`` are forwarded to the
+    model's ``sample`` (e.g. ``omission_probability=0.3`` for the
+    edge-omission models — rejected by ``crash``/``failure-free``, which do
+    not sample per edge).  The random streams have the same structure as
+    :func:`random_scenarios`, so for the sending-omissions model the two
+    functions produce identical workloads from identical seeds.
+    """
     if horizon is None:
         horizon = t + 3
-    model = SendingOmissionModel(n=n, t=t)
+    resolved = resolve_model(model, n, t)
     if isinstance(seed, random.Random):
         rng = seed
         preferences = random_preferences(n, count, seed=rng,
@@ -116,9 +147,57 @@ def random_scenarios(n: int, t: int, count: int, seed: SeedLike = 0,
                                          zero_probability=zero_probability)
     scenarios: List[Scenario] = []
     for index in range(count):
-        pattern = model.sample(rng, horizon, omission_probability=omission_probability)
+        pattern = resolved.sample(rng, horizon, **sample_kwargs)
         scenarios.append((preferences[index], pattern))
     return scenarios
+
+
+def silent_receiver_scenario(n: int, k: int, horizon: Optional[int] = None) -> Scenario:
+    """``k`` deaf faulty agents in an otherwise all-ones run (``RO(k)``).
+
+    Agents ``0 .. k - 1`` drop every incoming message; since everything they
+    *send* is delivered, the nonfaulty majority still hears their preferences
+    — the information asymmetry is the reverse of Example 7.1's silent
+    senders.
+    """
+    if horizon is None:
+        horizon = k + 3
+    pattern = silent_receiver_adversary(n, faulty=range(k), horizon=horizon)
+    return all_ones(n), pattern
+
+
+def partition_scenario(n: int, k: int, horizon: Optional[int] = None) -> Scenario:
+    """``k`` faulty agents partitioned off from the rest, holding the only 0s (``GO(k)``).
+
+    The isolated group starts with preference 0; because the cut severs both
+    directions, the rest of the system never hears about the 0s and the
+    isolated agents never hear the 1s — the scenario that separates general
+    omissions from both ``SO(t)`` (where the group would still hear) and
+    ``RO(t)`` (where the group would still be heard).
+    """
+    if not 0 <= k < n:
+        raise ValueError("need 0 <= k < n isolated agents")
+    if horizon is None:
+        horizon = k + 3
+    preferences = tuple(0 if agent < k else 1 for agent in range(n))
+    pattern = partition_adversary(n, isolated=range(k), horizon=horizon)
+    return preferences, pattern
+
+
+def mixed_chain_scenario(n: int, chain_length: int,
+                         horizon: Optional[int] = None) -> Scenario:
+    """A mixed send/receive omission chain starting at a 0-preferring agent (``GO``).
+
+    Agent 0 prefers 0 and both talks only forward along the chain and listens
+    only backward; all other agents prefer 1.  The general-omission analogue
+    of :func:`hidden_chain_scenario`.
+    """
+    if chain_length > n:
+        raise ValueError("chain cannot involve more agents than the system has")
+    chain = tuple(range(chain_length))
+    preferences = single_zero(n, holder=0)
+    pattern = mixed_omission_chain_adversary(n, chain, horizon=horizon)
+    return preferences, pattern
 
 
 def silent_fault_sweep(n: int, t: int, horizon: Optional[int] = None) -> List[Tuple[int, Scenario]]:

@@ -94,7 +94,7 @@ class TestExperimentCommand:
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_registry_covers_every_experiment(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
 
 
 class TestListCommand:

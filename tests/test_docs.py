@@ -1,0 +1,52 @@
+"""The docs stay honest: README doctests run, relative links resolve.
+
+CI's docs job runs the same two checks standalone (``python -m doctest`` and
+``tools/check_links.py``); running them in tier-1 as well means a PR cannot
+land with a rotted quickstart or a dangling link even before CI.
+"""
+
+import doctest
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_links  # noqa: E402
+
+
+class TestReadmeDoctests:
+    def test_readme_examples_run(self):
+        results = doctest.testfile(str(REPO_ROOT / "README.md"),
+                                   module_relative=False, verbose=False)
+        assert results.failed == 0, f"{results.failed} README doctest(s) failed"
+        assert results.attempted > 0, "README should contain runnable examples"
+
+    def test_quickstart_example_runs_clean(self):
+        """The README's quickstart mirror (examples/quickstart.py) stays runnable."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src")] +
+            ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             str(REPO_ROOT / "examples" / "quickstart.py")],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "EBA spec : OK" in proc.stdout
+
+
+class TestDocLinks:
+    def test_all_relative_markdown_links_resolve(self):
+        problems = []
+        for path in check_links.iter_markdown_files():
+            problems.extend(check_links.broken_links(path))
+        assert not problems, "\n".join(problems)
+
+    def test_the_expected_docs_exist(self):
+        for name in ("README.md", "docs/architecture.md", "docs/performance.md"):
+            assert (REPO_ROOT / name).exists(), name

@@ -36,3 +36,17 @@ class TestSafetyConditionAtN4:
     def test_p0_safe_in_gamma_basic_4_1(self):
         report = check_safety(BasicProtocol(1), gamma_basic(4, 1))
         assert report.safe, report.violations
+
+
+class TestGeneralOmissionTheoremsAtN3:
+    """The GO(1) halves of experiment E12's theorem table (98 312-run system)."""
+
+    def test_6_5_holds_and_6_6_breaks_under_general_omissions(self):
+        from repro.experiments.failure_model_comparison import check_theorems
+
+        rows = check_theorems("general-omission", n=3, t=1)
+        by_claim = {row.claim: row for row in rows}
+        assert by_claim["Theorem 6.5: P_min implements P0"].holds
+        basic = by_claim["Theorem 6.6: P_basic implements P0"]
+        assert not basic.holds
+        assert basic.mismatches > 0
