@@ -30,6 +30,7 @@ from ..simulation.runner import Scenario
 from ..simulation.trace import RunTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..store import StoreLike
     from .executors import Executor
     from .results import ResultSet
 
@@ -108,10 +109,25 @@ class RunSpec:
         pattern = self.pattern if self.pattern is not None else FailurePattern.failure_free(self.n)
         return (self.preferences, pattern)
 
-    def run(self, executor: Optional["Executor"] = None) -> RunTrace:
-        """Execute the run and return its trace."""
+    def run(self, executor: Optional["Executor"] = None,
+            store: "StoreLike" = None) -> RunTrace:
+        """Execute the run and return its trace.
+
+        ``store`` (an :class:`~repro.store.ArtifactStore`, a cache-directory
+        path, or ``None`` = off) serves the trace from the content-addressed
+        artifact store when an identical run was executed before, and persists
+        it otherwise.
+        """
+        from ..store import CachingExecutor, resolve_store
         from .executors import execute_task, resolve_executor
-        task = (self.protocol, self.n, self.preferences, self.pattern, self.horizon)
+        # Normalize pattern=None to the explicit failure-free pattern (as
+        # .scenario and SweepSpec.tasks() do), so the same run shares one
+        # cache key whether it was executed directly or inside a sweep.
+        preferences, pattern = self.scenario
+        task = (self.protocol, self.n, preferences, pattern, self.horizon)
+        resolved_store = resolve_store(store)
+        if resolved_store is not None:
+            return CachingExecutor(resolved_store, executor).run_tasks([task])[0]
         if executor is None:
             return execute_task(task)
         return resolve_executor(executor).run_tasks([task])[0]
@@ -189,26 +205,62 @@ class SweepSpec:
 
     # ------------------------------------------------------------------ execution
 
-    def run(self, executor: Optional["Executor"] = None) -> "ResultSet":
+    def missing_tasks(self, store: "StoreLike") -> Tuple[tuple, ...]:
+        """The tasks whose traces are *not* yet in the store, in canonical order.
+
+        This is the sweep's checkpoint state: :meth:`run` with a store caches
+        every completed run individually, so after an interruption the next
+        invocation recomputes exactly these tasks and serves the rest from the
+        cache.  An empty tuple means a rerun is free.
+        """
+        from ..store import resolve_store, run_task_key
+        resolved = resolve_store(store)
+        if resolved is None:
+            return self.tasks()
+        return tuple(task for task in self.tasks()
+                     if not resolved.contains(run_task_key(task)))
+
+    def run(self, executor: Optional["Executor"] = None,
+            store: "StoreLike" = None) -> "ResultSet":
         """Execute every run of the sweep and collect a :class:`ResultSet`.
 
         The result is identical (including ordering) for every executor; the
         backend only changes *where* the runs execute.
+
+        With a ``store``, the whole result set is first looked up under the
+        sweep's content key; on a miss, execution goes through a
+        :class:`~repro.store.CachingExecutor`, so each completed run is
+        checkpointed individually (an interrupted sweep resumes at the first
+        missing key) and the assembled result set is persisted at the end.
         """
+        from ..store import CachingExecutor, resolve_store, sweep_key
         from .executors import resolve_executor
         from .results import ResultSet
-        traces = resolve_executor(executor).run_tasks(self.tasks())
+        resolved_store = resolve_store(store)
+        spec_key = None
+        if resolved_store is not None:
+            spec_key = sweep_key(self)
+            cached = resolved_store.get(spec_key)
+            if cached is not None:
+                return cached
+            runner: "Executor" = CachingExecutor(resolved_store, executor)
+        else:
+            runner = resolve_executor(executor)
+        traces = runner.run_tasks(self.tasks())
         per_protocol = []
         count = len(self.scenarios)
         for index in range(len(self.protocols)):
             per_protocol.append(tuple(traces[index * count:(index + 1) * count]))
-        return ResultSet(
+        results = ResultSet(
             protocol_names=self.protocol_names,
             scenarios=self.scenarios,
             traces=tuple(per_protocol),
             horizon=self.horizon,
             seed=self.seed,
         )
+        if resolved_store is not None and spec_key is not None:
+            resolved_store.put(spec_key, results, kind="resultset")
+        return results
 
 
 @dataclass(frozen=True)
@@ -293,6 +345,7 @@ class Sweep:
         return SweepSpec(protocols=self._protocols, n=n, scenarios=self._scenarios,
                          horizon=self._horizon, seed=self._seed)
 
-    def run(self, executor: Optional["Executor"] = None) -> "ResultSet":
-        """Build the spec and execute it in one step."""
-        return self.build().run(executor)
+    def run(self, executor: Optional["Executor"] = None,
+            store: "StoreLike" = None) -> "ResultSet":
+        """Build the spec and execute it in one step (see :meth:`SweepSpec.run`)."""
+        return self.build().run(executor, store=store)

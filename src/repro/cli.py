@@ -9,7 +9,10 @@ Two entry points matter in practice:
   results (E1..E12) and print its table;
 * ``repro-eba failure-models`` — compare the protocols (and the Theorem
   6.5/6.6 implementation checks) across the registered failure models
-  (``SO(t)`` / ``RO(t)`` / ``GO(t)``).
+  (``SO(t)`` / ``RO(t)`` / ``GO(t)``);
+* ``repro-eba cache`` — inspect (``stats``), empty (``clear``), or pre-build
+  (``warm``) the content-addressed artifact store that ``--cache`` /
+  ``--cache-dir`` switch on for the commands above.
 
 Examples
 --------
@@ -19,6 +22,8 @@ Examples
     repro-eba run --protocol min --n 5 --t 1 --preferences 0,1,1,1,1 --show-rounds
     repro-eba experiment e3 --n 12 --t 6
     repro-eba experiment e4 --n 8 --t 3 --parallel --jobs 4
+    repro-eba experiment e7 --n 4 --t 1 --cache
+    repro-eba cache warm --n 4 --t 1 && repro-eba cache stats
     repro-eba failure-models --model general-omission
     repro-eba failure-models --model receive-omission --skip-theorems
     repro-eba list
@@ -26,7 +31,10 @@ Examples
 Both commands execute through the :mod:`repro.api` orchestration layer;
 ``--parallel`` switches the sweep-shaped experiments to the process-pool
 backend and parallelises the exhaustive system enumeration behind the
-model-checking experiments (e7, e11).
+model-checking experiments (e7, e11).  ``--cache`` (optionally with
+``--cache-dir PATH``) serves repeated runs, sweeps, system builds, and theorem
+reports from the content-addressed artifact store (:mod:`repro.store`); the
+two flags compose — cache misses still fan out over the process pool.
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ from .protocols.pmin import MinProtocol
 from .protocols.popt import OptimalFipProtocol
 from .reporting.trace_view import render_decision_timeline, render_run
 from .spec.eba import check_eba
+from .store import ArtifactStore, default_cache_dir, default_store
 from .workloads import scenarios as scenario_lib
 
 #: Protocol name -> constructor taking the failure bound t.
@@ -71,36 +80,44 @@ PROTOCOLS: Dict[str, Callable[[int], ActionProtocol]] = {
     "delayed": lambda t: DelayedMinProtocol(t, delay=1),
 }
 
-#: Experiment id -> (description, report callable taking (n, t, executor)).
+#: Experiment id -> (description, report callable taking (n, t, executor, store)).
 EXPERIMENTS: Dict[str, tuple] = {
     "e1": ("Proposition 8.1 — bits sent per failure-free run",
-           lambda n, t, executor: message_complexity.report(settings=((n, t),),
-                                                            executor=executor)),
+           lambda n, t, executor, store: message_complexity.report(
+               settings=((n, t),), executor=executor, store=store)),
     "e2": ("Proposition 8.2 — failure-free decision rounds",
-           lambda n, t, executor: decision_rounds.report(settings=((n, t),),
-                                                         executor=executor)),
+           lambda n, t, executor, store: decision_rounds.report(
+               settings=((n, t),), executor=executor, store=store)),
     "e3": ("Example 7.1 — full-information advantage under silent failures",
-           lambda n, t, executor: example_7_1.report(n=n, t=t, executor=executor)),
+           lambda n, t, executor, store: example_7_1.report(
+               n=n, t=t, executor=executor, store=store)),
     "e4": ("Corollaries 6.7 / 7.8 — dominance over corresponding runs",
-           lambda n, t, executor: dominance_study.report(n=n, t=t, executor=executor)),
+           lambda n, t, executor, store: dominance_study.report(
+               n=n, t=t, executor=executor, store=store)),
     "e5": ("Proposition 6.1 — termination by round t + 2",
-           lambda n, t, executor: termination_bound.report(n=n, t=t, executor=executor)),
+           lambda n, t, executor, store: termination_bound.report(
+               n=n, t=t, executor=executor, store=store)),
     "e6": ("Introduction — the hear-about-0 counterexample",
-           lambda n, t, executor: agreement_violation.report(sizes=((n, t),),
-                                                             executor=executor)),
+           lambda n, t, executor, store: agreement_violation.report(
+               sizes=((n, t),), executor=executor, store=store)),
     "e7": ("Theorems 6.5 / 6.6 — implementation of the knowledge-based program P0",
-           lambda n, t, executor: implementation_check.report(n=n, t=t, executor=executor)),
+           lambda n, t, executor, store: implementation_check.report(
+               n=n, t=t, executor=executor, store=store)),
     "e8": ("Section 8 — decision-round gap between limited exchanges and the FIP",
-           lambda n, t, executor: fip_gap.report(n=n, t=t, executor=executor)),
+           lambda n, t, executor, store: fip_gap.report(
+               n=n, t=t, executor=executor, store=store)),
     "e9": ("Crash failures vs sending omissions (0-bias ablation)",
-           lambda n, t, executor: crash_comparison.report(n=n, t=t, executor=executor)),
+           lambda n, t, executor, store: crash_comparison.report(
+               n=n, t=t, executor=executor, store=store)),
     "e10": ("Optimality probe — one-step deviations of P_min / P_basic",
-            lambda n, t, executor: optimality_probe.report(n=n, t=t, executor=executor)),
+            lambda n, t, executor, store: optimality_probe.report(
+                n=n, t=t, executor=executor, store=store)),
     "e11": ("Proposition 6.4 — the Definition 6.2 safety condition",
-            lambda n, t, executor: safety_check.report(n=n, t=t, executor=executor)),
+            lambda n, t, executor, store: safety_check.report(
+                n=n, t=t, executor=executor, store=store)),
     "e12": ("Failure-model comparison — SO vs RO vs GO (see also 'failure-models')",
-            lambda n, t, executor: failure_model_comparison.report(n=n, t=t,
-                                                                   executor=executor)),
+            lambda n, t, executor, store: failure_model_comparison.report(
+                n=n, t=t, executor=executor, store=store)),
 }
 
 
@@ -110,11 +127,31 @@ def _make_executor(args: argparse.Namespace) -> Optional[Executor]:
                                jobs=getattr(args, "jobs", None))
 
 
+def _make_store(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    """Open the artifact store requested on the command line (``None`` = off).
+
+    ``--cache`` switches caching on at the default location
+    (``$REPRO_EBA_CACHE_DIR`` or ``~/.cache/repro-eba``); ``--cache-dir PATH``
+    switches it on at ``PATH``.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        return default_store(cache_dir)
+    if getattr(args, "cache", False):
+        return default_store()
+    return None
+
+
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--parallel", action="store_true",
                         help="execute runs on a process pool (repro.api.ParallelExecutor)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for --parallel (default: all cores)")
+    parser.add_argument("--cache", action="store_true",
+                        help="serve repeated work from the content-addressed artifact "
+                             "store (repro.store) at its default location")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="PATH",
+                        help="like --cache, but store artifacts under PATH")
 
 
 def _parse_preferences(text: str, n: int) -> List[int]:
@@ -158,7 +195,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     preferences, pattern = _build_scenario(args)
     spec = RunSpec(protocol=protocol, n=args.n, preferences=tuple(preferences),
                    pattern=pattern)
-    trace = spec.run(_make_executor(args))
+    trace = spec.run(_make_executor(args), store=_make_store(args))
     if args.show_rounds:
         print(render_run(trace))
     else:
@@ -184,7 +221,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.id!r}; use 'repro-eba list'", file=sys.stderr)
         return 2
     _description, runner = EXPERIMENTS[key]
-    print(runner(args.n, args.t, _make_executor(args)))
+    print(runner(args.n, args.t, _make_executor(args), _make_store(args)))
     return 0
 
 
@@ -204,7 +241,48 @@ def _cmd_failure_models(args: argparse.Namespace) -> int:
         seed=args.seed,
         include_theorems=not args.skip_theorems,
         executor=_make_executor(args),
+        store=_make_store(args),
     ))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """The ``cache`` subcommand: inspect, empty, or pre-build the artifact store."""
+    location = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    store = default_store(args.cache_dir)
+    if args.cache_command == "stats":
+        print(f"artifact store at {location}")
+        print(store.stats().describe())
+        return 0
+    if args.cache_command == "clear":
+        deleted = store.clear()
+        print(f"artifact store at {location}: deleted {deleted} entr"
+              f"{'y' if deleted == 1 else 'ies'}")
+        return 0
+    # warm: pre-build the expensive model-checking artifacts for (n, t) so the
+    # first real experiment/CI run starts hot.
+    from .experiments import implementation_check, safety_check
+    executor = _make_executor(args)
+    print(f"warming artifact store at {location} for n={args.n}, t={args.t} ...")
+    for label, check in (
+        ("Theorem 6.5 (P_min implements P0 in gamma_min)",
+         implementation_check.check_theorem_6_5),
+        ("Theorem 6.6 (P_basic implements P0 in gamma_basic)",
+         implementation_check.check_theorem_6_6),
+    ):
+        report = check(args.n, args.t, executor=executor, store=store)
+        print(f"  {label}: {'ok' if report.ok else 'MISMATCHES'} "
+              f"({report.checked_states} states)")
+    if args.safety:
+        for label, check in (
+            ("Definition 6.2 safety in gamma_min", safety_check.check_gamma_min),
+            ("Definition 6.2 safety in gamma_basic", safety_check.check_gamma_basic),
+        ):
+            report = check(args.n, args.t, executor=executor, store=store)
+            print(f"  {label}: {'safe' if report.safe else 'VIOLATIONS'} "
+                  f"({report.points_checked} points)")
+    stats = store.stats()
+    print(f"done: {stats.entries} entries, {stats.puts} written this run")
     return 0
 
 
@@ -276,6 +354,28 @@ def build_parser() -> argparse.ArgumentParser:
                                     "at n=3, t=1 (the exhaustive GO system takes ~30 s)")
     _add_backend_arguments(models_parser)
     models_parser.set_defaults(handler=_cmd_failure_models)
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect, clear, or warm the content-addressed artifact store")
+    cache_parser.add_argument("cache_command", choices=["stats", "clear", "warm"],
+                              help="stats: entries/sizes/kinds; clear: delete every "
+                                   "entry; warm: pre-build the (n, t) theorem-check "
+                                   "artifacts")
+    cache_parser.add_argument("--cache-dir", type=str, default=None, metavar="PATH",
+                              help="store location (default: $REPRO_EBA_CACHE_DIR or "
+                                   "~/.cache/repro-eba)")
+    cache_parser.add_argument("--n", type=int, default=3,
+                              help="system size for 'warm' (default 3)")
+    cache_parser.add_argument("--t", type=int, default=1,
+                              help="failure bound for 'warm' (default 1)")
+    cache_parser.add_argument("--safety", action="store_true",
+                              help="also warm the Definition 6.2 safety reports")
+    cache_parser.add_argument("--parallel", action="store_true",
+                              help="build systems on a process pool while warming")
+    cache_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker processes for --parallel")
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     list_parser = subparsers.add_parser("list", help="list experiments and protocols")
     list_parser.set_defaults(handler=_cmd_list)

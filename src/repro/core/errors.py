@@ -50,3 +50,13 @@ class ModelCheckingError(ReproError):
     Typical causes: referring to an agent outside the system, or evaluating a
     temporal operator past the system horizon.
     """
+
+
+class StoreError(ReproError):
+    """Raised when the artifact store cannot key, read, or write an artifact.
+
+    Note that a *corrupted* cache entry does not raise: the store treats it as
+    a miss (deleting the entry) so cached pipelines degrade to recomputation
+    rather than crashing.  This error covers genuine misuse, e.g. asking for a
+    content key of an object the canonical hasher has no rule for.
+    """

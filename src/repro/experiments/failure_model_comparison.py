@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..api import Executor, Sweep
+from ..api import Executor, StoreLike, Sweep
 from ..failures.models import FailureModel, make_model, model_class
 from ..kbp.implementation import check_implements
 from ..kbp.programs import make_p0
@@ -145,7 +145,8 @@ def measure_behaviour(n: int = 4, t: int = 1,
                       models: Sequence["FailureModel | str"] = DEFAULT_MODELS,
                       count: int = 12, seed: int = 23,
                       protocols: Optional[Sequence[ActionProtocol]] = None,
-                      executor: Optional[Executor] = None) -> List[ModelBehaviourRow]:
+                      executor: Optional[Executor] = None,
+                      store: StoreLike = None) -> List[ModelBehaviourRow]:
     """Sweep the protocols over each model's workload and score the EBA clauses.
 
     Runs are simulated for a fixed ``t + 4`` rounds so that a protocol that
@@ -159,7 +160,7 @@ def measure_behaviour(n: int = 4, t: int = 1,
         resolved = make_model(model, n, t) if isinstance(model, str) else model
         scenarios = model_workload(resolved, n, t, count=count, seed=seed)
         results = (Sweep.of(*protocols).on(scenarios, n=n)
-                   .with_horizon(t + 4).run(executor))
+                   .with_horizon(t + 4).run(executor, store=store))
         for protocol in protocols:
             traces = results[protocol.name]
             agreement = validity = termination = 0
@@ -190,7 +191,8 @@ def measure_behaviour(n: int = 4, t: int = 1,
 
 
 def check_theorems(model: "FailureModel | str", n: int = 3, t: int = 1,
-                   executor: Optional[Executor] = None) -> List[TheoremCheckRow]:
+                   executor: Optional[Executor] = None,
+                   store: StoreLike = None) -> List[TheoremCheckRow]:
     """Run the Theorem 6.5 / 6.6 implementation checks with the given failure model.
 
     Each check enumerates the full system of the (model-swapped) context with
@@ -212,7 +214,8 @@ def check_theorems(model: "FailureModel | str", n: int = 3, t: int = 1,
         ("Theorem 6.6: P_basic implements P0", BasicProtocol(t), gamma_basic, "gamma_basic"),
     ):
         context = gamma(n, t, failure_model=model)
-        report = check_implements(protocol, make_p0(n), context, executor=executor)
+        report = check_implements(protocol, make_p0(n), context, executor=executor,
+                                  store=store)
         rows.append(TheoremCheckRow(
             model=model_name,
             claim=claim,
@@ -232,15 +235,16 @@ def measure(n: int = 4, t: int = 1,
             include_theorems: bool = True,
             theorem_n: int = 3, theorem_t: int = 1,
             executor: Optional[Executor] = None,
+            store: StoreLike = None,
             ) -> Tuple[List[ModelBehaviourRow], List[TheoremCheckRow]]:
     """The full E12 comparison: behaviour sweep plus per-model theorem checks."""
     behaviour = measure_behaviour(n, t, models=models, count=count, seed=seed,
-                                  executor=executor)
+                                  executor=executor, store=store)
     theorems: List[TheoremCheckRow] = []
     if include_theorems:
         for model in models:
             theorems.extend(check_theorems(model, n=theorem_n, t=theorem_t,
-                                           executor=executor))
+                                           executor=executor, store=store))
     return behaviour, theorems
 
 
@@ -249,12 +253,13 @@ def report(n: int = 4, t: int = 1,
            count: int = 12, seed: int = 23,
            include_theorems: bool = True,
            theorem_n: int = 3, theorem_t: int = 1,
-           executor: Optional[Executor] = None) -> str:
+           executor: Optional[Executor] = None,
+           store: StoreLike = None) -> str:
     """Render the failure-model comparison as tables."""
     behaviour, theorems = measure(n=n, t=t, models=models, count=count, seed=seed,
                                   include_theorems=include_theorems,
                                   theorem_n=theorem_n, theorem_t=theorem_t,
-                                  executor=executor)
+                                  executor=executor, store=store)
     parts = [format_table(
         [row.as_row() for row in behaviour],
         title=f"E12 — protocol behaviour per failure model (n={n}, t={t})",

@@ -51,23 +51,25 @@ class ImplementationMeasurement:
 
 def check_theorem_6_5(n: int = 3, t: int = 1,
                       max_faulty_enumerated: Optional[int] = None,
-                      executor=None) -> ImplementationReport:
+                      executor=None, store=None) -> ImplementationReport:
     """Theorem 6.5: ``P_min`` implements ``P0`` in ``γ_min,n,t``."""
     context = gamma_min(n, t, max_faulty_enumerated=max_faulty_enumerated)
-    return check_implements(MinProtocol(t), make_p0(n), context, executor=executor)
+    return check_implements(MinProtocol(t), make_p0(n), context, executor=executor,
+                            store=store)
 
 
 def check_theorem_6_6(n: int = 3, t: int = 1,
                       max_faulty_enumerated: Optional[int] = None,
-                      executor=None) -> ImplementationReport:
+                      executor=None, store=None) -> ImplementationReport:
     """Theorem 6.6: ``P_basic`` implements ``P0`` in ``γ_basic,n,t``."""
     context = gamma_basic(n, t, max_faulty_enumerated=max_faulty_enumerated)
-    return check_implements(BasicProtocol(t), make_p0(n), context, executor=executor)
+    return check_implements(BasicProtocol(t), make_p0(n), context, executor=executor,
+                            store=store)
 
 
 def check_theorem_a21(n: int = 3, t: int = 1,
                       max_faulty_enumerated: Optional[int] = None,
-                      executor=None) -> ImplementationReport:
+                      executor=None, store=None) -> ImplementationReport:
     """Theorem A.21 / Proposition 7.9: ``P_opt`` implements ``P1`` in ``γ_fip,n,t``.
 
     This is the paper's polynomial-time-implementation claim checked against the
@@ -76,25 +78,29 @@ def check_theorem_a21(n: int = 3, t: int = 1,
     knowledge and common-knowledge conditions at every reachable local state.
     """
     context = gamma_fip(n, t, max_faulty_enumerated=max_faulty_enumerated)
-    return check_implements(OptimalFipProtocol(t), make_p1(n, t), context, executor=executor)
+    return check_implements(OptimalFipProtocol(t), make_p1(n, t), context, executor=executor,
+                            store=store)
 
 
-def check_p0_p1_equivalence(n: int = 3, t: int = 1, executor=None) -> Dict[str, bool]:
+def check_p0_p1_equivalence(n: int = 3, t: int = 1, executor=None,
+                            store=None) -> Dict[str, bool]:
     """Section 7: ``P0`` and ``P1`` prescribe the same actions in the limited contexts."""
     results: Dict[str, bool] = {}
-    system_min = gamma_min(n, t).build_system(MinProtocol(t), executor=executor)
+    system_min = gamma_min(n, t).build_system(MinProtocol(t), executor=executor, store=store)
     results["gamma_min"] = programs_equivalent(make_p0(n), make_p1(n, t), system_min)
-    system_basic = gamma_basic(n, t).build_system(BasicProtocol(t), executor=executor)
+    system_basic = gamma_basic(n, t).build_system(BasicProtocol(t), executor=executor,
+                                                  store=store)
     results["gamma_basic"] = programs_equivalent(make_p0(n), make_p1(n, t), system_basic)
     return results
 
 
 def measure(n: int = 3, t: int = 1, include_equivalence: bool = True,
-            include_fip: bool = True, executor=None) -> List[ImplementationMeasurement]:
+            include_fip: bool = True, executor=None,
+            store=None) -> List[ImplementationMeasurement]:
     """Run every implementation check at the given system size."""
     measurements: List[ImplementationMeasurement] = []
     if include_fip:
-        report_fip = check_theorem_a21(n, t, executor=executor)
+        report_fip = check_theorem_a21(n, t, executor=executor, store=store)
         measurements.append(ImplementationMeasurement(
             claim="Theorem A.21: P_opt implements P1",
             context="gamma_fip",
@@ -103,7 +109,7 @@ def measure(n: int = 3, t: int = 1, include_equivalence: bool = True,
             states_checked=report_fip.checked_states,
             holds=report_fip.ok,
         ))
-    report_min = check_theorem_6_5(n, t, executor=executor)
+    report_min = check_theorem_6_5(n, t, executor=executor, store=store)
     measurements.append(ImplementationMeasurement(
         claim="Theorem 6.5: P_min implements P0",
         context="gamma_min",
@@ -112,7 +118,7 @@ def measure(n: int = 3, t: int = 1, include_equivalence: bool = True,
         states_checked=report_min.checked_states,
         holds=report_min.ok,
     ))
-    report_basic = check_theorem_6_6(n, t, executor=executor)
+    report_basic = check_theorem_6_6(n, t, executor=executor, store=store)
     measurements.append(ImplementationMeasurement(
         claim="Theorem 6.6: P_basic implements P0",
         context="gamma_basic",
@@ -122,7 +128,7 @@ def measure(n: int = 3, t: int = 1, include_equivalence: bool = True,
         holds=report_basic.ok,
     ))
     if include_equivalence:
-        equivalences = check_p0_p1_equivalence(n, t, executor=executor)
+        equivalences = check_p0_p1_equivalence(n, t, executor=executor, store=store)
         for context_name, holds in equivalences.items():
             measurements.append(ImplementationMeasurement(
                 claim="Section 7: P1 ≡ P0",
@@ -135,14 +141,15 @@ def measure(n: int = 3, t: int = 1, include_equivalence: bool = True,
     return measurements
 
 
-def report(n: int = 3, t: int = 1, executor=None) -> str:
+def report(n: int = 3, t: int = 1, executor=None, store=None) -> str:
     """Render the implementation checks as a table.
 
     ``executor`` (e.g. the CLI's ``--parallel --jobs N`` backend) parallelises
-    the exhaustive run enumeration that builds each context's system; the
-    model checking itself stays in-process.
+    the exhaustive run enumeration that builds each context's system; ``store``
+    serves the system builds and the finished reports from the artifact cache
+    (see :mod:`repro.store`).
     """
-    measurements = measure(n, t, executor=executor)
+    measurements = measure(n, t, executor=executor, store=store)
     table = format_table(
         [m.as_row() for m in measurements],
         title=f"E7 — knowledge-based program implementation checks (n={n}, t={t})",

@@ -89,14 +89,16 @@ def measure(n: int = 3, t: int = 1) -> List[ProbeRow]:
     ]
 
 
-def report(n: int = 3, t: int = 1, executor=None) -> str:
+def report(n: int = 3, t: int = 1, executor=None, store=None) -> str:
     """Render the optimality probe as a table.
 
-    ``executor`` is accepted for CLI uniformity with the sweep-shaped
-    experiments but unused: the probe enumerates one-step deviations over an
-    exhaustively built context in-process.
+    ``executor`` and ``store`` are accepted for CLI uniformity with the
+    sweep-shaped experiments but unused: the probe enumerates one-step
+    deviations over an exhaustively built context in-process, and every
+    deviation is a distinct throwaway protocol, so there is nothing reusable
+    to cache.
     """
-    del executor
+    del executor, store
     rows = measure(n, t)
     table = format_table(
         [row.as_row() for row in rows],

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..api import Executor, Sweep
+from ..api import Executor, StoreLike, Sweep
 from ..failures.models import SendingOmissionModel
 from ..protocols.base import ActionProtocol
 from ..protocols.pbasic import BasicProtocol
@@ -77,11 +77,12 @@ def adversarial_workload(n: int, t: int, random_count: int = 30, seed: int = 3) 
 def measure_termination(n: int, t: int, scenarios: Sequence[Scenario],
                         protocols: Optional[Sequence[ActionProtocol]] = None,
                         executor: Optional[Executor] = None,
+                        store: StoreLike = None,
                         ) -> List[TerminationMeasurement]:
     """Worst decision round and specification violations of each protocol over ``scenarios``."""
     if protocols is None:
         protocols = [MinProtocol(t), BasicProtocol(t), OptimalFipProtocol(t)]
-    results = Sweep.of(*protocols).on(scenarios, n=n).run(executor)
+    results = Sweep.of(*protocols).on(scenarios, n=n).run(executor, store=store)
     violation_counts = results.spec_violations(deadline=t + 2, validity_for_faulty=True)
     measurements: List[TerminationMeasurement] = []
     for protocol in protocols:
@@ -105,10 +106,11 @@ def measure_termination(n: int, t: int, scenarios: Sequence[Scenario],
 
 
 def report(n: int = 6, t: int = 2, random_count: int = 30, seed: int = 3,
-           executor: Optional[Executor] = None) -> str:
+           executor: Optional[Executor] = None,
+           store: StoreLike = None) -> str:
     """Render the termination-bound experiment as a table."""
     scenarios = adversarial_workload(n, t, random_count=random_count, seed=seed)
-    measurements = measure_termination(n, t, scenarios, executor=executor)
+    measurements = measure_termination(n, t, scenarios, executor=executor, store=store)
     table = format_table(
         [m.as_row() for m in measurements],
         title=f"E5 / Proposition 6.1 — worst-case decision round (n={n}, t={t})",

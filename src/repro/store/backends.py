@@ -1,0 +1,196 @@
+"""Pluggable storage backends for the artifact store.
+
+A backend is a flat byte-oriented key/value store with enough metadata (size,
+last-use time) for the :class:`~repro.store.store.ArtifactStore` to do size
+accounting and LRU eviction.  Serialization, compression, and corruption
+handling all live *above* the backend, so a new backend only moves bytes:
+
+* :class:`FilesystemBackend` — the default: one file per entry under a root
+  directory, sharded by key prefix, with atomic writes and mtime-based
+  recency.  Safe for concurrent readers and (whole-entry) concurrent writers.
+* :class:`MemoryBackend` — a dict, for tests and ephemeral in-process caching.
+
+To add a backend (say Redis or S3), implement the six methods of
+:class:`StoreBackend` — ``get``/``put``/``delete``/``contains``/``peek``/
+``entries`` — and hand an instance to ``ArtifactStore``; nothing else in the
+library knows where bytes live.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Backend metadata for one stored artifact."""
+
+    key: str
+    size: int
+    last_used: float
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """The byte-level storage interface the artifact store drives.
+
+    ``get`` is the only read that marks an entry as recently used; ``contains``
+    and ``peek`` must *not* touch recency, so membership tests (resumable-sweep
+    checkpoint scans) and metadata reads (``cache stats``) cannot perturb the
+    LRU eviction order.
+    """
+
+    def get(self, key: str) -> Optional[bytes]:  # pragma: no cover - interface
+        """The stored payload, or ``None``; marks the entry as recently used."""
+        ...
+
+    def put(self, key: str, payload: bytes) -> None:  # pragma: no cover - interface
+        """Store (or atomically replace) the payload under ``key``."""
+        ...
+
+    def delete(self, key: str) -> bool:  # pragma: no cover - interface
+        """Remove the entry; returns whether it existed."""
+        ...
+
+    def contains(self, key: str) -> bool:  # pragma: no cover - interface
+        """Whether the entry exists — no payload read, no recency update."""
+        ...
+
+    def peek(self, key: str, size: int = 256) -> Optional[bytes]:  # pragma: no cover
+        """Up to ``size`` leading payload bytes — no recency update."""
+        ...
+
+    def entries(self) -> Iterator[StoreEntry]:  # pragma: no cover - interface
+        """Every stored entry with its size and last-use time."""
+        ...
+
+
+class FilesystemBackend:
+    """One file per artifact under ``root``, sharded as ``<key[:2]>/<key>``.
+
+    Writes go through a temp file + :func:`os.replace`, so readers never see a
+    half-written entry and concurrent writers of the same key last-write-win
+    with intact payloads either way (content addressing makes both payloads
+    equivalent anyway).  Reads bump the file's mtime, which is the recency
+    signal LRU eviction sorts by.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    def get(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            os.utime(path)  # recency for LRU eviction; best effort
+        except OSError:
+            pass
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> bool:
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def peek(self, key: str, size: int = 256) -> Optional[bytes]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read(size)
+        except OSError:
+            return None
+
+    def entries(self) -> Iterator[StoreEntry]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.iterdir()):
+                if path.name.startswith(".tmp-"):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:  # deleted underneath us
+                    continue
+                yield StoreEntry(key=path.name, size=stat.st_size,
+                                 last_used=stat.st_mtime)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FilesystemBackend({str(self.root)!r})"
+
+
+class MemoryBackend:
+    """An in-process dict backend (tests, ephemeral caches)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+        self._used: Dict[str, float] = {}
+        self._clock = 0.0
+
+    def _tick(self) -> float:
+        # A monotonic logical clock: wall time has too little resolution to
+        # order the rapid back-to-back accesses tests perform.
+        self._clock += 1.0
+        return self._clock
+
+    def get(self, key: str) -> Optional[bytes]:
+        payload = self._data.get(key)
+        if payload is not None:
+            self._used[key] = self._tick()
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        self._data[key] = payload
+        self._used[key] = self._tick()
+
+    def delete(self, key: str) -> bool:
+        self._used.pop(key, None)
+        return self._data.pop(key, None) is not None
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def peek(self, key: str, size: int = 256) -> Optional[bytes]:
+        payload = self._data.get(key)
+        return payload[:size] if payload is not None else None
+
+    def entries(self) -> Iterator[StoreEntry]:
+        for key, payload in list(self._data.items()):
+            # 0.0 (= older than any real tick), NOT wall time: mixing clock
+            # domains would sort a fallback entry as the newest of all.
+            yield StoreEntry(key=key, size=len(payload),
+                             last_used=self._used.get(key, 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoryBackend({len(self._data)} entries)"

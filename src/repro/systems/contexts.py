@@ -25,6 +25,7 @@ from .interpreted import InterpretedSystem, build_system
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.executors import Executor
+    from ..store import StoreLike
 
 
 @dataclass(frozen=True)
@@ -64,15 +65,18 @@ class EBAContext:
                                             max_faulty=self.max_faulty_enumerated)
 
     def build_system(self, protocol: ActionProtocol,
-                     executor: Optional["Executor"] = None) -> InterpretedSystem:
+                     executor: Optional["Executor"] = None,
+                     store: "StoreLike" = None) -> InterpretedSystem:
         """Build ``I_{γ, P}`` for the given action protocol.
 
         ``executor`` optionally fans the run simulations out over a
         :class:`~repro.api.executors.Executor` backend (run ordering is
-        deterministic on every backend).
+        deterministic on every backend).  ``store`` serves the built system
+        from the content-addressed artifact cache (see :mod:`repro.store`)
+        when an identical ``(γ, P)`` build was done before.
         """
         return build_system(protocol, self.n, self.horizon, self.patterns(),
-                            executor=executor)
+                            executor=executor, store=store)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"{self.name}(n={self.n}, t={self.t}, horizon={self.horizon}, "

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Run the pytest-benchmark suites and emit a canonical ``BENCH_<date>.json``.
+
+The ``benchmarks/`` directory has timed every experiment since PR 1, but the
+numbers evaporated with each run: nothing wrote a dated record, so the perf
+trajectory the docs reference was empty.  This tool is the single canonical
+capture point:
+
+* runs each selected ``benchmarks/bench_*.py`` as its own pytest process with
+  ``--benchmark-json`` (a crashing suite is recorded as failed, not fatal);
+* merges the per-suite pytest-benchmark output into one machine-readable
+  document keyed by suite name, stamped with the date, Python version, and
+  platform;
+* writes it to ``BENCH_<YYYY-MM-DD>.json`` at the repository root (override
+  with ``--out``).
+
+The weekly CI job runs the fast, perf-trajectory-relevant suites
+(``--only bench_model_checking bench_store``) and uploads the file as a build
+artifact, so every week leaves a dated, diffable perf record.
+
+Usage::
+
+    python tools/bench_summary.py                         # every suite (slow!)
+    python tools/bench_summary.py --only bench_store      # substring filter
+    python tools/bench_summary.py --only bench_model_checking bench_store \
+        --out BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+def discover_suites(only: Optional[List[str]]) -> List[Path]:
+    """The benchmark files to run, optionally filtered by name substrings."""
+    suites = sorted(BENCH_DIR.glob("bench_*.py"))
+    if only:
+        suites = [suite for suite in suites
+                  if any(needle in suite.stem for needle in only)]
+    return suites
+
+
+def run_suite(suite: Path, timeout: int) -> Dict[str, object]:
+    """Run one benchmark file; return its summary entry (never raises)."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = Path(handle.name)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    command = [sys.executable, "-m", "pytest", str(suite), "-q",
+               f"--benchmark-json={json_path}"]
+    entry: Dict[str, object] = {"suite": suite.stem}
+    try:
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env,
+                                   capture_output=True, text=True, timeout=timeout)
+        entry["returncode"] = completed.returncode
+        if completed.returncode != 0:
+            entry["error"] = (completed.stdout + completed.stderr)[-2000:]
+        try:
+            data = json.loads(json_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            data = {}
+        entry["benchmarks"] = [
+            {
+                "name": bench.get("name"),
+                "mean": bench.get("stats", {}).get("mean"),
+                "min": bench.get("stats", {}).get("min"),
+                "max": bench.get("stats", {}).get("max"),
+                "stddev": bench.get("stats", {}).get("stddev"),
+                "rounds": bench.get("stats", {}).get("rounds"),
+            }
+            for bench in data.get("benchmarks", [])
+        ]
+    except subprocess.TimeoutExpired:
+        entry["returncode"] = -1
+        entry["error"] = f"timed out after {timeout}s"
+        entry["benchmarks"] = []
+    finally:
+        try:
+            json_path.unlink()
+        except OSError:
+            pass
+    return entry
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", nargs="*", default=None, metavar="SUBSTRING",
+                        help="run only the suites whose filename contains one of "
+                             "these substrings (default: every bench_*.py)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: BENCH_<YYYY-MM-DD>.json at the "
+                             "repository root)")
+    parser.add_argument("--timeout", type=int, default=1800,
+                        help="per-suite timeout in seconds (default 1800)")
+    args = parser.parse_args(argv)
+
+    suites = discover_suites(args.only)
+    if not suites:
+        print(f"no benchmark suites match {args.only!r}", file=sys.stderr)
+        return 2
+
+    date = _datetime.date.today().isoformat()
+    out = args.out if args.out is not None else REPO_ROOT / f"BENCH_{date}.json"
+    document = {
+        "date": date,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "suites": [],
+    }
+    failures = 0
+    for suite in suites:
+        print(f"running {suite.stem} ...", flush=True)
+        entry = run_suite(suite, timeout=args.timeout)
+        document["suites"].append(entry)
+        count = len(entry["benchmarks"])
+        status = "ok" if entry.get("returncode") == 0 else "FAILED"
+        if status == "FAILED":
+            failures += 1
+        print(f"  {status}: {count} benchmark(s)")
+
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(document['suites'])} suites, {failures} failed)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
