@@ -16,9 +16,10 @@ double as the acceptance check.  Each parametrisation reports through
 pytest-benchmark as usual (``--benchmark-json``); ``tools/bench_summary.py``
 includes this file in the canonical ``BENCH_<date>.json``.
 
-Reference numbers on the development container: cold (n=4, t=1) ≈ 7 s
-(simulation-dominated system build), warm ≈ 3 ms from a fresh process (disk +
-unpickle), ≈ 0.2 ms within a process (memory LRU).
+Reference numbers on the development container: cold (n=4, t=1) ≈ 0.8 s
+(≈ 7 s before the batched construction engine; the system build still
+dominates), warm ≈ 2 ms from a fresh process (disk + unpickle), ≈ 0.2 ms
+within a process (memory LRU).
 """
 
 import time

@@ -15,6 +15,15 @@ Two backends are provided:
   :class:`concurrent.futures.ProcessPoolExecutor`; worthwhile for large sweeps
   because every run is an independent, deterministic, CPU-bound simulation.
 
+Both backends additionally understand *batch tasks*
+(:data:`~repro.simulation.batch.BatchTask`): chunks of a system build executed
+through the round-major :class:`~repro.simulation.batch.BatchSimulator` via
+``run_batches`` — the fan-out unit :func:`repro.systems.interpreted.build_system`
+uses, so ``--parallel`` parallelises over pattern chunks instead of individual
+runs.  Executors that only implement ``run_tasks`` (e.g. the
+:class:`~repro.store.CachingExecutor`) still work everywhere: callers fall back
+to per-run tasks.
+
 Tasks and traces cross process boundaries by pickling, which every protocol,
 failure pattern, and trace in the library supports (they are plain dataclasses
 and plain classes).
@@ -28,6 +37,7 @@ from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 from ..core.errors import ConfigurationError
 from ..failures.pattern import FailurePattern
 from ..protocols.base import ActionProtocol
+from ..simulation.batch import BatchTask, execute_batch, execute_batches
 from ..simulation.engine import simulate
 from ..simulation.trace import RunTrace
 
@@ -62,6 +72,15 @@ class SerialExecutor:
 
     def run_tasks(self, tasks: Sequence[RunTask]) -> List[RunTrace]:
         return [execute_task(task) for task in tasks]
+
+    def run_batches(self, batches: Sequence[BatchTask]) -> List[RunTrace]:
+        """Run batched-construction work items in-process, in order.
+
+        Consecutive batches of the same ``(protocol, n)`` share one
+        :class:`~repro.simulation.batch.BatchSimulator`, so serially executing
+        a chunked system build loses none of the cross-run sharing.
+        """
+        return execute_batches(batches)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialExecutor()"
@@ -113,6 +132,38 @@ class ParallelExecutor:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(execute_task, tasks, chunksize=chunksize))
 
+    def run_batches(self, batches: Sequence[BatchTask]) -> List[RunTrace]:
+        """Fan batched-construction work items out over the pool, preserving order.
+
+        Each batch (a contiguous chunk of failure patterns crossed with the
+        preference vectors; when :func:`repro.systems.interpreted.build_system`
+        builds from orbits, chunk boundaries respect orbit boundaries) runs
+        through one worker-side
+        :class:`~repro.simulation.batch.BatchSimulator`, so the round-major
+        sharing survives inside every chunk while the chunks themselves run in
+        parallel.  ``ProcessPoolExecutor.map`` keeps submission order, and each
+        batch is a pure function of its task, so the concatenated traces are
+        identical to :meth:`SerialExecutor.run_batches`'s for any chunking.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        batches = list(batches)
+        workers = min(self._effective_workers(), max(1, len(batches)))
+        if workers == 1 or len(batches) <= 1:
+            return execute_batches(batches)
+        chunksize = self.chunksize
+        if chunksize is None:
+            # Unlike run tasks, batches are already coarse (build_system
+            # emits at most a few dozen), so per-batch dispatch load-balances
+            # better than the IPC-amortising heuristic above and costs
+            # nothing.
+            chunksize = 1
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            traces: List[RunTrace] = []
+            for batch_traces in pool.map(execute_batch, batches, chunksize=chunksize):
+                traces.extend(batch_traces)
+            return traces
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelExecutor(max_workers={self.max_workers}, chunksize={self.chunksize})"
 
@@ -132,10 +183,17 @@ def executor_from_flags(parallel: bool = False, jobs: Optional[int] = None) -> E
     """Build the backend described by ``--parallel`` / ``--jobs``-style flags.
 
     The single translation point from user-facing flags to a backend, shared
-    by the CLI and the benchmarks: ``parallel=False`` yields a
-    :class:`SerialExecutor` (``jobs`` is ignored), ``parallel=True`` a
-    :class:`ParallelExecutor` with ``jobs`` workers (``None`` = all cores).
+    by the CLI and the benchmarks.  Passing ``jobs`` *implies* the parallel
+    backend: ``--jobs 8`` without ``--parallel`` historically fell through to
+    a :class:`SerialExecutor` silently, which turned an explicit request for
+    eight workers into a serial run with no warning.  Now any ``jobs`` value
+    selects a :class:`ParallelExecutor` with that worker count, ``parallel``
+    alone selects one with all cores, and a non-positive ``jobs`` raises
+    :class:`~repro.core.errors.ConfigurationError` at the flag layer instead
+    of surfacing as a pool error later.
     """
-    if parallel:
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"--jobs must be a positive worker count, got {jobs}")
+    if parallel or jobs is not None:
         return ParallelExecutor(max_workers=jobs)
     return SerialExecutor()

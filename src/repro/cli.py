@@ -31,7 +31,9 @@ Examples
 Both commands execute through the :mod:`repro.api` orchestration layer;
 ``--parallel`` switches the sweep-shaped experiments to the process-pool
 backend and parallelises the exhaustive system enumeration behind the
-model-checking experiments (e7, e11).  ``--cache`` (optionally with
+model-checking experiments (e7, e11).  ``--jobs N`` implies ``--parallel``
+with ``N`` workers (``repro-eba experiment e4 --jobs 8`` runs on eight worker
+processes; it used to fall back to a serial run silently).  ``--cache`` (optionally with
 ``--cache-dir PATH``) serves repeated runs, sweeps, system builds, and theorem
 reports from the content-addressed artifact store (:mod:`repro.store`); the
 two flags compose — cache misses still fan out over the process pool.
@@ -146,7 +148,8 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--parallel", action="store_true",
                         help="execute runs on a process pool (repro.api.ParallelExecutor)")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for --parallel (default: all cores)")
+                        help="worker processes; implies --parallel (with --parallel "
+                             "alone: all cores)")
     parser.add_argument("--cache", action="store_true",
                         help="serve repeated work from the content-addressed artifact "
                              "store (repro.store) at its default location")
@@ -374,7 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--parallel", action="store_true",
                               help="build systems on a process pool while warming")
     cache_parser.add_argument("--jobs", type=int, default=None,
-                              help="worker processes for --parallel")
+                              help="worker processes; implies --parallel")
     cache_parser.set_defaults(handler=_cmd_cache)
 
     list_parser = subparsers.add_parser("list", help="list experiments and protocols")

@@ -253,8 +253,16 @@ class ArtifactStore:
         ``protect`` (typically the key just written) is never evicted, so a
         single artifact larger than the bound stays usable.  Returns the number
         of entries evicted.
+
+        Entries tie on ``last_used`` more often than wall-clock intuition
+        suggests — ``st_mtime`` has whole-second granularity on some
+        filesystems, so a burst of writes lands on one timestamp — and a
+        recency-only sort would make the eviction order among them arbitrary
+        (directory-listing order).  The key is the deterministic tie-break:
+        same store state, same evictions, on every platform.
         """
-        entries = sorted(self.backend.entries(), key=lambda entry: entry.last_used)
+        entries = sorted(self.backend.entries(),
+                         key=lambda entry: (entry.last_used, entry.key))
         total = sum(entry.size for entry in entries)
         evicted = 0
         for entry in entries:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, TYPE_CHECKING
 
-from ..failures.models import FailureModel, SendingOmissionModel, resolve_model
+from ..failures.models import FailureModel, PatternOrbit, SendingOmissionModel, resolve_model
 from ..failures.pattern import FailurePattern
 from ..protocols.base import ActionProtocol
 from .interpreted import InterpretedSystem, build_system
@@ -64,19 +64,32 @@ class EBAContext:
         return self.failure_model.enumerate(self.horizon,
                                             max_faulty=self.max_faulty_enumerated)
 
+    def orbits(self) -> Iterator["PatternOrbit"]:
+        """Enumerate the context's patterns as agent-permutation orbits.
+
+        One canonical representative per symmetry class, with its exact orbit
+        size (see :meth:`repro.failures.models.FailureModel.enumerate_orbits`).
+        """
+        return self.failure_model.enumerate_orbits(
+            self.horizon, max_faulty=self.max_faulty_enumerated)
+
     def build_system(self, protocol: ActionProtocol,
                      executor: Optional["Executor"] = None,
-                     store: "StoreLike" = None) -> InterpretedSystem:
+                     store: "StoreLike" = None,
+                     engine: str = "batched") -> InterpretedSystem:
         """Build ``I_{γ, P}`` for the given action protocol.
 
         ``executor`` optionally fans the run simulations out over a
         :class:`~repro.api.executors.Executor` backend (run ordering is
         deterministic on every backend).  ``store`` serves the built system
         from the content-addressed artifact cache (see :mod:`repro.store`)
-        when an identical ``(γ, P)`` build was done before.
+        when an identical ``(γ, P)`` build was done before.  ``engine``
+        selects the construction engine — the batched round-major default or
+        the per-run oracle (see
+        :func:`repro.systems.interpreted.build_system`).
         """
         return build_system(protocol, self.n, self.horizon, self.patterns(),
-                            executor=executor, store=store)
+                            executor=executor, store=store, engine=engine)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"{self.name}(n={self.n}, t={self.t}, horizon={self.horizon}, "

@@ -9,6 +9,7 @@ from repro.api import (
     SerialExecutor,
     Sweep,
     corresponding,
+    executor_from_flags,
     resolve_executor,
     run_sweep,
 )
@@ -90,6 +91,35 @@ class TestParallelExecutor:
                  .on([intro_counterexample(n=4, t=1)], n=4)
                  .run(ParallelExecutor())).only()
         assert trace.protocol_name == "P_min"
+
+
+class TestExecutorFromFlags:
+    """Regression: ``--jobs N`` without ``--parallel`` used to silently run serially."""
+
+    def test_jobs_alone_implies_the_parallel_backend(self):
+        executor = executor_from_flags(parallel=False, jobs=4)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == 4
+
+    def test_parallel_with_jobs_sets_the_worker_count(self):
+        executor = executor_from_flags(parallel=True, jobs=2)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == 2
+
+    def test_parallel_alone_uses_all_cores(self):
+        executor = executor_from_flags(parallel=True)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers is None
+
+    def test_no_flags_stay_serial(self):
+        assert isinstance(executor_from_flags(), SerialExecutor)
+
+    @pytest.mark.parametrize("jobs", [0, -1])
+    def test_non_positive_jobs_rejected_at_the_flag_layer(self, jobs):
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            executor_from_flags(parallel=False, jobs=jobs)
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            executor_from_flags(parallel=True, jobs=jobs)
 
 
 class TestResolveExecutor:

@@ -1,0 +1,157 @@
+"""Agent-permutation symmetry: ``FailurePattern.relabel`` and pattern orbits.
+
+The symmetry-reduction contract is exactness: the orbits a model enumerates
+must *partition* its full pattern enumeration — every orbit expands to
+distinct admissible patterns, distinct orbits are disjoint, their union is the
+enumerated set, and the sizes sum to the exact pattern count.  These tests pin
+that contract for every registered model, plus the orbit-weighted experiment
+counting path (E5) built on top of it.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.failures.models import (
+    CrashModel,
+    FailureFreeModel,
+    GeneralOmissionModel,
+    PatternOrbit,
+    ReceiveOmissionModel,
+    SendingOmissionModel,
+)
+from repro.failures.pattern import FailurePattern
+from repro.systems import gamma_min
+
+
+class TestRelabel:
+    def test_relabel_moves_every_role(self):
+        pattern = FailurePattern(
+            n=3, faulty=frozenset({0, 2}),
+            omissions=frozenset({(0, 0, 1)}),
+            receive_omissions=frozenset({(1, 1, 2)}),
+        )
+        relabelled = pattern.relabel((2, 0, 1))  # 0->2, 1->0, 2->1
+        assert relabelled.faulty == frozenset({2, 1})
+        assert relabelled.omissions == frozenset({(0, 2, 0)})
+        assert relabelled.receive_omissions == frozenset({(1, 0, 1)})
+
+    def test_identity_and_inverse(self):
+        pattern = FailurePattern.silent(4, faulty=[1], horizon=2)
+        identity = tuple(range(4))
+        assert pattern.relabel(identity) == pattern
+        permutation = (3, 2, 1, 0)
+        assert pattern.relabel(permutation).relabel(permutation) == pattern
+
+    def test_non_permutation_rejected(self):
+        pattern = FailurePattern.failure_free(3)
+        with pytest.raises(ConfigurationError, match="permutation"):
+            pattern.relabel((0, 0, 1))
+        with pytest.raises(ConfigurationError, match="permutation"):
+            pattern.relabel((0, 1))
+
+
+MODELS = [
+    SendingOmissionModel(n=3, t=1),
+    ReceiveOmissionModel(n=3, t=1),
+    GeneralOmissionModel(n=3, t=1),
+    SendingOmissionModel(n=4, t=2),
+    CrashModel(n=3, t=1),
+    FailureFreeModel(3),
+]
+
+
+class TestOrbitEnumeration:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda model: model.name)
+    def test_orbits_partition_the_full_enumeration(self, model):
+        horizon = 2
+        full = set(model.enumerate(horizon))
+        orbits = list(model.enumerate_orbits(horizon))
+        expanded = [pattern for orbit in orbits for pattern in orbit.expand()]
+        # exact cover, no duplicates across or within orbits
+        assert len(expanded) == len(set(expanded)) == len(full)
+        assert set(expanded) == full
+        # sizes are exact
+        assert [orbit.size for orbit in orbits] == [len(orbit.expand()) for orbit in orbits]
+        assert sum(orbit.size for orbit in orbits) == len(full)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda model: model.name)
+    def test_representatives_are_canonical(self, model):
+        for orbit in model.enumerate_orbits(2):
+            members = orbit.expand()
+            assert orbit.representative == members[0]
+            assert orbit.representative == min(members, key=FailurePattern.sort_key)
+
+    def test_sizes_sum_to_the_closed_form_count(self):
+        model = SendingOmissionModel(n=4, t=1)
+        orbits = list(model.enumerate_orbits(3))
+        assert sum(orbit.size for orbit in orbits) == model.count_patterns(3)
+
+    def test_count_orbits_matches_enumeration(self):
+        model = GeneralOmissionModel(n=3, t=1)
+        assert model.count_orbits(2) == len(list(model.enumerate_orbits(2)))
+
+    def test_orbit_sizes_divide_the_group_order(self):
+        """Orbit-stabiliser: every orbit size divides n! exactly."""
+        model = SendingOmissionModel(n=4, t=1)
+        group_order = 24
+        for orbit in model.enumerate_orbits(2):
+            assert group_order % orbit.size == 0
+
+    def test_context_orbits_cover_the_context_patterns(self):
+        context = gamma_min(3, 1)
+        expanded = {
+            pattern
+            for orbit in context.orbits()
+            for pattern in orbit.expand()
+        }
+        assert expanded == set(context.patterns())
+
+    def test_orbit_is_closed_under_every_permutation(self):
+        model = ReceiveOmissionModel(n=3, t=1)
+        for orbit in itertools.islice(model.enumerate_orbits(2), 10):
+            members = set(orbit.expand())
+            for permutation in itertools.permutations(range(3)):
+                assert {m.relabel(permutation) for m in members} == members
+
+
+class TestWeightedExperimentCounts:
+    def test_e5_symmetry_reduced_counts_match_full_enumeration(self):
+        """The orbit-weighted E5 counting path is exact, not approximate."""
+        from repro.experiments.termination_bound import (
+            exhaustive_workload,
+            measure_termination,
+            symmetry_reduced_workload,
+        )
+        from repro.protocols import BasicProtocol, MinProtocol, NaiveZeroBiasedProtocol
+
+        n, t = 3, 1
+        protocols = [MinProtocol(t), BasicProtocol(t), NaiveZeroBiasedProtocol(t)]
+        full = measure_termination(n, t, exhaustive_workload(n, t), protocols=protocols)
+        scenarios, weights = symmetry_reduced_workload(n, t)
+        assert len(scenarios) < len(exhaustive_workload(n, t))
+        reduced = measure_termination(n, t, scenarios, protocols=protocols,
+                                      weights=weights)
+        for full_row, reduced_row in zip(full, reduced):
+            assert reduced_row.runs == full_row.runs
+            assert reduced_row.spec_violations == full_row.spec_violations
+            assert reduced_row.worst_decision_round == full_row.worst_decision_round
+            assert reduced_row.within_bound == full_row.within_bound
+
+    def test_mismatched_weights_rejected(self):
+        from repro.experiments.termination_bound import measure_termination
+
+        with pytest.raises(ValueError, match="weights"):
+            measure_termination(3, 1, [((1, 1, 1), None)], weights=[1, 2])
+
+
+class TestPatternOrbitValue:
+    def test_orbit_is_hashable_and_tokenisable(self):
+        """Orbits flow into build_system and store keys; both need value semantics."""
+        from repro.store.keys import token
+
+        orbit = next(iter(SendingOmissionModel(n=3, t=1).enumerate_orbits(2)))
+        assert isinstance(orbit, PatternOrbit)
+        assert hash(orbit) == hash(PatternOrbit(orbit.representative, orbit.size))
+        token(orbit)  # must not raise

@@ -1,0 +1,243 @@
+"""Differential tests: the batched round-major engine vs the per-run engine.
+
+The batched engine (:mod:`repro.simulation.batch`) promises traces that are
+**byte-identical** (per-trace pickle) to :func:`repro.simulation.engine.simulate`'s
+for every protocol, failure model, and scenario — and systems whose interned
+partitions are identical to the per-run path's.  These tests enforce that
+promise across the SO / RO / GO models and all three paper protocols, plus a
+randomized scenario sweep, and pin the supporting behaviours: duplicate-pattern
+rejection, executor batch fan-out, and the engine/symmetry knobs of
+``build_system``.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.api import ParallelExecutor, SerialExecutor
+from repro.core.errors import ConfigurationError, ModelCheckingError
+from repro.failures.models import (
+    GeneralOmissionModel,
+    ReceiveOmissionModel,
+    SendingOmissionModel,
+    make_model,
+)
+from repro.failures.pattern import FailurePattern
+from repro.kbp import check_implements, make_p0
+from repro.protocols import BasicProtocol, MinProtocol, OptimalFipProtocol
+from repro.simulation.batch import BatchSimulator, execute_batches, simulate_batch
+from repro.simulation.engine import simulate
+from repro.systems import build_system, build_system_for_model, gamma_basic, gamma_min
+from repro.workloads.preferences import enumerate_preferences
+
+MODELS = ["sending-omission", "receive-omission", "general-omission"]
+
+#: For the differential checks over full *context-horizon* systems, GO(1) at
+#: n=3 is a 98 312-run system whose per-run oracle build alone takes ~20 s —
+#: the exhaustive GO halves run in the weekly ``-m slow`` tier, like the other
+#: exhaustive GO checks.
+CONTEXT_MODELS = [
+    "sending-omission",
+    "receive-omission",
+    pytest.param("general-omission", marks=pytest.mark.slow),
+]
+
+
+def _trace_bytes(traces):
+    return [pickle.dumps(trace) for trace in traces]
+
+
+class TestTraceByteIdentity:
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_exhaustive_n3_systems_are_byte_identical(self, model_name):
+        """Every run of the full n=3 system, across the paper's two limited protocols."""
+        model = make_model(model_name, n=3, t=1)
+        patterns = list(model.enumerate(2))
+        prefs = [tuple(p) for p in enumerate_preferences(3)]
+        for protocol in (MinProtocol(1), BasicProtocol(1)):
+            per_run = [simulate(protocol, 3, p, pattern=pattern, horizon=2)
+                       for pattern in patterns for p in prefs]
+            batched = BatchSimulator(protocol, 3).simulate_patterns(patterns, prefs, 2)
+            assert _trace_bytes(batched) == _trace_bytes(per_run)
+
+    def test_full_information_protocol_is_byte_identical(self):
+        """E_fip's graph-valued messages and states survive batching unchanged."""
+        model = SendingOmissionModel(n=3, t=1)
+        patterns = list(model.enumerate(2))
+        prefs = [tuple(p) for p in enumerate_preferences(3)]
+        protocol = OptimalFipProtocol(1)
+        per_run = [simulate(protocol, 3, p, pattern=pattern, horizon=3)
+                   for pattern in patterns for p in prefs]
+        batched = BatchSimulator(protocol, 3).simulate_patterns(patterns, prefs, 3)
+        assert _trace_bytes(batched) == _trace_bytes(per_run)
+
+    @pytest.mark.parametrize("protocol_factory", [MinProtocol, BasicProtocol, OptimalFipProtocol])
+    def test_randomized_scenario_sweep(self, protocol_factory):
+        """Random patterns from every edge-omission model, random preferences."""
+        rng = random.Random(71)
+        n, t, horizon = 4, 2, 4
+        protocol = protocol_factory(t)
+        scenarios = []
+        for model in (SendingOmissionModel(n=n, t=t), ReceiveOmissionModel(n=n, t=t),
+                      GeneralOmissionModel(n=n, t=t)):
+            for _ in range(25):
+                pattern = model.sample(rng, horizon, omission_probability=0.4)
+                preferences = tuple(rng.randint(0, 1) for _ in range(n))
+                scenarios.append((preferences, pattern))
+        per_run = [simulate(protocol, n, prefs, pattern=pattern, horizon=horizon)
+                   for prefs, pattern in scenarios]
+        batched = simulate_batch(protocol, n, scenarios, horizon)
+        assert _trace_bytes(batched) == _trace_bytes(per_run)
+
+    def test_failure_free_default_and_zero_horizon(self):
+        trace = simulate_batch(MinProtocol(1), 3, [((1, 1, 1), None)], 0)[0]
+        assert trace.rounds == []
+        assert trace.pattern == FailurePattern.failure_free(3)
+        per_run = simulate(MinProtocol(1), 3, (1, 1, 1), horizon=0)
+        assert pickle.dumps(trace) == pickle.dumps(per_run)
+
+
+class TestEngineEquivalenceInBuildSystem:
+    @pytest.mark.parametrize("model_name", CONTEXT_MODELS)
+    def test_build_system_engines_agree(self, model_name):
+        context = gamma_min(3, 1, failure_model=model_name)
+        batched = context.build_system(MinProtocol(1))
+        per_run = context.build_system(MinProtocol(1), engine="per-run")
+        assert _trace_bytes(batched.runs) == _trace_bytes(per_run.runs)
+        for agent in range(3):
+            fast = batched.partition(agent)
+            slow = per_run.partition(agent)
+            assert fast.class_masks == slow.class_masks
+            assert fast.class_states == slow.class_states
+            assert fast.class_first_indices == slow.class_first_indices
+
+    @pytest.mark.parametrize("model_name", CONTEXT_MODELS)
+    def test_theorem_reports_identical_across_engines(self, model_name):
+        """Theorem 6.5 / 6.6 verdicts cannot depend on the construction engine."""
+        for claim_protocol, gamma in ((MinProtocol(1), gamma_min),
+                                      (BasicProtocol(1), gamma_basic)):
+            context = gamma(3, 1, failure_model=model_name)
+            batched = check_implements(
+                claim_protocol, make_p0(3), context,
+                system=context.build_system(claim_protocol))
+            per_run = check_implements(
+                claim_protocol, make_p0(3), context,
+                system=context.build_system(claim_protocol, engine="per-run"))
+            assert repr(batched) == repr(per_run)
+            assert batched.checked_states == per_run.checked_states
+            assert [repr(m) for m in batched.mismatches] == [repr(m) for m in per_run.mismatches]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ModelCheckingError, match="engine"):
+            gamma_min(3, 1).build_system(MinProtocol(1), engine="turbo")
+
+
+class TestExecutorBatchFanOut:
+    def test_serial_and_parallel_batches_match_in_process_build(self):
+        context = gamma_min(3, 1)
+        reference = context.build_system(MinProtocol(1))
+        serial = context.build_system(MinProtocol(1), executor=SerialExecutor())
+        parallel = context.build_system(
+            MinProtocol(1), executor=ParallelExecutor(max_workers=2, chunksize=1))
+        assert _trace_bytes(serial.runs) == _trace_bytes(reference.runs)
+        assert _trace_bytes(parallel.runs) == _trace_bytes(reference.runs)
+
+    def test_run_tasks_only_executors_fall_back_to_per_run(self):
+        class TasksOnly:
+            def __init__(self):
+                self.calls = 0
+
+            def run_tasks(self, tasks):
+                self.calls += 1
+                return SerialExecutor().run_tasks(tasks)
+
+        executor = TasksOnly()
+        system = gamma_min(3, 1).build_system(MinProtocol(1), executor=executor)
+        assert executor.calls == 1
+        reference = gamma_min(3, 1).build_system(MinProtocol(1))
+        assert _trace_bytes(system.runs) == _trace_bytes(reference.runs)
+
+    def test_execute_batches_shares_a_simulator_across_chunks(self):
+        protocol = MinProtocol(1)
+        prefs = tuple(tuple(p) for p in enumerate_preferences(3))
+        patterns = tuple(SendingOmissionModel(n=3, t=1).enumerate(2))
+        split = len(patterns) // 2
+        chunked = execute_batches([
+            (protocol, 3, prefs, patterns[:split], 2),
+            (protocol, 3, prefs, patterns[split:], 2),
+        ])
+        whole = execute_batches([(protocol, 3, prefs, patterns, 2)])
+        assert _trace_bytes(chunked) == _trace_bytes(whole)
+
+
+class TestValidation:
+    def test_duplicate_pattern_rejected_naming_the_pattern(self):
+        pattern = FailurePattern.silent(3, faulty=[0], horizon=2)
+        patterns = [FailurePattern.failure_free(3), pattern, pattern]
+        with pytest.raises(ModelCheckingError) as excinfo:
+            build_system(MinProtocol(1), 3, 2, patterns)
+        message = str(excinfo.value)
+        assert "duplicate failure pattern" in message
+        assert pattern.describe() in message
+        assert "positions 1 and 2" in message
+
+    def test_equal_but_distinct_pattern_objects_are_still_duplicates(self):
+        first = FailurePattern.silent(3, faulty=[0], horizon=2)
+        second = FailurePattern.silent(3, faulty=[0], horizon=2)
+        assert first is not second
+        with pytest.raises(ModelCheckingError, match="duplicate failure pattern"):
+            build_system(MinProtocol(1), 3, 2, [first, second])
+
+    def test_pattern_for_wrong_n_rejected(self):
+        with pytest.raises(ConfigurationError, match="4 agents"):
+            simulate_batch(MinProtocol(1), 3,
+                           [((1, 1, 1), FailurePattern.failure_free(4))], 2)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError, match="horizon"):
+            simulate_batch(MinProtocol(1), 3, [((1, 1, 1), None)], -1)
+
+    def test_bad_pattern_weights_rejected(self):
+        patterns = [FailurePattern.failure_free(3)]
+        with pytest.raises(ModelCheckingError, match="weights"):
+            build_system(MinProtocol(1), 3, 2, patterns, pattern_weights=[1, 2])
+        with pytest.raises(ModelCheckingError, match="positive"):
+            build_system(MinProtocol(1), 3, 2, patterns, pattern_weights=[0])
+
+
+class TestSymmetryModes:
+    def test_expand_builds_the_same_pattern_set(self):
+        model = SendingOmissionModel(n=3, t=1)
+        full = build_system_for_model(MinProtocol(1), model, 2)
+        expanded = build_system_for_model(MinProtocol(1), model, 2, symmetry="expand")
+        assert len(expanded.runs) == len(full.runs)
+        assert ({run.pattern for run in expanded.runs}
+                == {run.pattern for run in full.runs})
+        assert expanded.run_weights is None
+
+    def test_reduce_records_exact_weighted_run_count(self):
+        model = SendingOmissionModel(n=3, t=1)
+        full = build_system_for_model(MinProtocol(1), model, 2)
+        reduced = build_system_for_model(MinProtocol(1), model, 2, symmetry="reduce")
+        assert len(reduced.runs) < len(full.runs)
+        assert reduced.run_weights is not None
+        assert reduced.weighted_run_count == full.weighted_run_count == len(full.runs)
+
+    def test_unknown_symmetry_mode_rejected(self):
+        with pytest.raises(ModelCheckingError, match="symmetry"):
+            build_system_for_model(MinProtocol(1), SendingOmissionModel(n=3, t=1), 2,
+                                   symmetry="fold")
+
+    def test_reduced_system_keys_distinct_from_exhaustive(self, tmp_path):
+        """A reduced build must not alias the plain build of the same patterns."""
+        from repro.store import default_store
+        store = default_store(tmp_path)
+        model = SendingOmissionModel(n=3, t=1)
+        orbits = list(model.enumerate_orbits(2))
+        representatives = [orbit.representative for orbit in orbits]
+        reduced = build_system_for_model(MinProtocol(1), model, 2,
+                                         symmetry="reduce", store=store)
+        plain = build_system(MinProtocol(1), 3, 2, representatives, store=store)
+        assert reduced.run_weights is not None
+        assert plain.run_weights is None

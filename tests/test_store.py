@@ -232,6 +232,30 @@ class TestArtifactStore:
         assert fresh.get("1" * 64) is None  # oldest evicted
         assert fresh.get("2" * 64) == "second"  # newest protected
 
+    def test_eviction_order_is_deterministic_among_same_second_entries(self, tmp_path):
+        """Regression: ``st_mtime`` has 1-second granularity on some filesystems.
+
+        A burst of writes can land on one timestamp, and a recency-only sort
+        would then evict in directory-listing order — arbitrary across
+        platforms.  The eviction scan tie-breaks on the key, so the same store
+        state always evicts the same entries.
+        """
+        import os
+
+        store = default_store(tmp_path)
+        keys = [ch * 64 for ch in ("d", "b", "f", "a", "c", "e")]
+        for key in keys:
+            store.put(key, key)
+        # Pin every entry to one whole-second mtime, as a coarse filesystem would.
+        for key in keys:
+            os.utime(store.backend._path(key), (1_000_000, 1_000_000))
+        survivor_count = 2
+        sizes = sorted(entry.size for entry in store.backend.entries())
+        store.evict_to(sum(sizes[:survivor_count]))
+        survivors = sorted(entry.key for entry in store.backend.entries())
+        # Keys evict in ascending key order, so exactly the largest keys remain.
+        assert survivors == sorted(keys)[-survivor_count:]
+
     def test_eviction_not_triggered_under_the_bound(self, tmp_path):
         class CountingEntriesBackend(FilesystemBackend):
             walks = 0

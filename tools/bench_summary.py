@@ -15,8 +15,9 @@ capture point:
   with ``--out``).
 
 The weekly CI job runs the fast, perf-trajectory-relevant suites
-(``--only bench_model_checking bench_store``) and uploads the file as a build
-artifact, so every week leaves a dated, diffable perf record.
+(``--only bench_model_checking bench_store bench_batch_build``) and uploads
+the file as a build artifact, so every week leaves a dated, diffable perf
+record.
 
 Usage::
 
