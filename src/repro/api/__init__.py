@@ -63,7 +63,7 @@ from .executors import (
     resolve_executor,
 )
 from .results import ResultSet
-from .specs import RunSpec, Scenario, Sweep, SweepSpec
+from .specs import RunSpec, Scenario, Sweep, SweepSpec, set_resume_notifier
 
 __all__ = [
     "ArtifactStore",
@@ -86,6 +86,7 @@ __all__ = [
     "resolve_store",
     "run",
     "run_sweep",
+    "set_resume_notifier",
 ]
 
 

@@ -20,9 +20,10 @@ Both backends additionally understand *batch tasks*
 through the round-major :class:`~repro.simulation.batch.BatchSimulator` via
 ``run_batches`` — the fan-out unit :func:`repro.systems.interpreted.build_system`
 uses, so ``--parallel`` parallelises over pattern chunks instead of individual
-runs.  Executors that only implement ``run_tasks`` (e.g. the
-:class:`~repro.store.CachingExecutor`) still work everywhere: callers fall back
-to per-run tasks.
+runs.  The :class:`~repro.store.CachingExecutor` implements ``run_batches``
+too (cache-aware, forwarding whole missing batches to its inner backend), so
+``--cache`` composes with the batched engine; executors that only implement
+``run_tasks`` still work everywhere — callers fall back to per-run tasks.
 
 Tasks and traces cross process boundaries by pickling, which every protocol,
 failure pattern, and trace in the library supports (they are plain dataclasses

@@ -30,9 +30,31 @@ from ..simulation.runner import Scenario
 from ..simulation.trace import RunTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from typing import Callable
     from ..store import StoreLike
     from .executors import Executor
     from .results import ResultSet
+
+
+#: Optional observer called by :meth:`SweepSpec.run` when a cached sweep is
+#: *partially* complete — i.e. the run is a resume, not a cold start — with
+#: ``(spec, remaining_tasks, total_tasks)``.  ``None`` (the default) is
+#: silent; the CLI installs a stderr reporter when ``--cache`` is on so
+#: ``repro-eba experiment ... --cache`` prints "resuming K of N runs".
+_RESUME_NOTIFIER: "Optional[Callable[[SweepSpec, int, int], None]]" = None
+
+
+def set_resume_notifier(callback) -> "Optional[Callable[[SweepSpec, int, int], None]]":
+    """Install the sweep-resume observer; returns the previous one.
+
+    Library code stays silent by default — printing belongs to entry points.
+    Pass ``None`` to uninstall.  The callback must not raise (it runs on the
+    sweep's hot path) and must not mutate the spec.
+    """
+    global _RESUME_NOTIFIER
+    previous = _RESUME_NOTIFIER
+    _RESUME_NOTIFIER = callback
+    return previous
 
 
 def _duplicate_names(protocols: Sequence[ActionProtocol]) -> Tuple[str, ...]:
@@ -243,6 +265,10 @@ class SweepSpec:
             cached = resolved_store.get(spec_key)
             if cached is not None:
                 return cached
+            if _RESUME_NOTIFIER is not None:
+                remaining = len(self.missing_tasks(resolved_store))
+                if 0 < remaining < len(self):
+                    _RESUME_NOTIFIER(self, remaining, len(self))
             runner: "Executor" = CachingExecutor(resolved_store, executor)
         else:
             runner = resolve_executor(executor)

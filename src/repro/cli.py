@@ -10,9 +10,14 @@ Two entry points matter in practice:
 * ``repro-eba failure-models`` — compare the protocols (and the Theorem
   6.5/6.6 implementation checks) across the registered failure models
   (``SO(t)`` / ``RO(t)`` / ``GO(t)``);
-* ``repro-eba cache`` — inspect (``stats``), empty (``clear``), or pre-build
-  (``warm``) the content-addressed artifact store that ``--cache`` /
-  ``--cache-dir`` switch on for the commands above.
+* ``repro-eba cache`` — inspect (``stats``, optionally ``--json``; ``missing``
+  for the resumable-state view), empty (``clear``), or pre-build (``warm``)
+  the content-addressed artifact store that ``--cache`` / ``--cache-dir``
+  switch on for the commands above;
+* ``repro-eba serve`` / ``repro-eba submit`` — the job-server subsystem
+  (:mod:`repro.service`): a long-running HTTP job API where concurrent
+  identical submissions coalesce into one computation by content key, and a
+  thin polling client.
 
 Examples
 --------
@@ -23,9 +28,13 @@ Examples
     repro-eba experiment e3 --n 12 --t 6
     repro-eba experiment e4 --n 8 --t 3 --parallel --jobs 4
     repro-eba experiment e7 --n 4 --t 1 --cache
-    repro-eba cache warm --n 4 --t 1 && repro-eba cache stats
+    repro-eba cache warm --n 4 --t 1 && repro-eba cache stats --json
+    repro-eba cache missing --n 4 --t 1
     repro-eba failure-models --model general-omission
     repro-eba failure-models --model receive-omission --skip-theorems
+    repro-eba serve --port 8322 --workers 2 --cache
+    repro-eba submit theorem --theorem 6.5 --n 3 --t 1 --wait
+    repro-eba submit sweep --protocols min,basic,opt --n 4 --t 1 --count 8
     repro-eba list
 
 Both commands execute through the :mod:`repro.api` orchestration layer;
@@ -42,10 +51,11 @@ two flags compose — cache misses still fan out over the process pool.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .api import Executor, RunSpec, executor_from_flags
+from .api import Executor, RunSpec, executor_from_flags, set_resume_notifier
 from .core.errors import ReproError
 from .experiments import (
     agreement_violation,
@@ -64,23 +74,17 @@ from .experiments import (
 from .failures.models import available_models
 from .failures.pattern import FailurePattern
 from .protocols.base import ActionProtocol
-from .protocols.baselines import DelayedMinProtocol, NaiveZeroBiasedProtocol
-from .protocols.pbasic import BasicProtocol
-from .protocols.pmin import MinProtocol
-from .protocols.popt import OptimalFipProtocol
 from .reporting.trace_view import render_decision_timeline, render_run
+from .service.wire import PROTOCOL_FACTORIES, THEOREMS
 from .spec.eba import check_eba
 from .store import ArtifactStore, default_cache_dir, default_store
 from .workloads import scenarios as scenario_lib
 
-#: Protocol name -> constructor taking the failure bound t.
-PROTOCOLS: Dict[str, Callable[[int], ActionProtocol]] = {
-    "min": MinProtocol,
-    "basic": BasicProtocol,
-    "opt": OptimalFipProtocol,
-    "naive0": NaiveZeroBiasedProtocol,
-    "delayed": lambda t: DelayedMinProtocol(t, delay=1),
-}
+#: Protocol name -> constructor taking the failure bound t.  This *is* the
+#: service wire format's protocol namespace (:mod:`repro.service.wire`), so a
+#: name accepted by ``repro-eba run`` is accepted by ``repro-eba submit`` and
+#: by any remote client, unchanged.
+PROTOCOLS: Dict[str, Callable[[int], ActionProtocol]] = PROTOCOL_FACTORIES
 
 #: Experiment id -> (description, report callable taking (n, t, executor, store)).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -218,13 +222,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1
 
 
+def _report_resume(spec, remaining: int, total: int) -> None:
+    """The sweep-resume notice ``--cache`` surfaces (installed per command)."""
+    done = total - remaining
+    print(f"cache: resuming {remaining} of {total} runs "
+          f"({done} already cached)", file=sys.stderr)
+
+
+class _resume_reporting:
+    """Context manager: surface partial-sweep resumes while a command runs.
+
+    Installed only when the command actually configured a store — the library
+    itself never prints — and always uninstalled on the way out so embedding
+    callers (tests, the service) are unaffected.
+    """
+
+    def __init__(self, store: Optional[ArtifactStore]) -> None:
+        self._active = store is not None
+        self._previous = None
+
+    def __enter__(self) -> "_resume_reporting":
+        if self._active:
+            self._previous = set_resume_notifier(_report_resume)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._active:
+            set_resume_notifier(self._previous)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     key = args.id.lower()
     if key not in EXPERIMENTS:
         print(f"unknown experiment {args.id!r}; use 'repro-eba list'", file=sys.stderr)
         return 2
     _description, runner = EXPERIMENTS[key]
-    print(runner(args.n, args.t, _make_executor(args), _make_store(args)))
+    store = _make_store(args)
+    with _resume_reporting(store):
+        print(runner(args.n, args.t, _make_executor(args), store))
     return 0
 
 
@@ -236,16 +271,18 @@ def _cmd_failure_models(args: argparse.Namespace) -> int:
         models = ["sending-omission"]
         if args.model not in models:
             models.append(args.model)
-    print(failure_model_comparison.report(
-        n=args.n,
-        t=args.t,
-        models=models,
-        count=args.count,
-        seed=args.seed,
-        include_theorems=not args.skip_theorems,
-        executor=_make_executor(args),
-        store=_make_store(args),
-    ))
+    store = _make_store(args)
+    with _resume_reporting(store):
+        print(failure_model_comparison.report(
+            n=args.n,
+            t=args.t,
+            models=models,
+            count=args.count,
+            seed=args.seed,
+            include_theorems=not args.skip_theorems,
+            executor=_make_executor(args),
+            store=store,
+        ))
     return 0
 
 
@@ -254,9 +291,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     location = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     store = default_store(args.cache_dir)
     if args.cache_command == "stats":
+        if args.json:
+            payload = {"location": str(location), **store.stats().as_dict()}
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         print(f"artifact store at {location}")
         print(store.stats().describe())
         return 0
+    if args.cache_command == "missing":
+        return _cache_missing(args, store, location)
     if args.cache_command == "clear":
         deleted = store.clear()
         print(f"artifact store at {location}: deleted {deleted} entr"
@@ -287,6 +330,133 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     stats = store.stats()
     print(f"done: {stats.entries} entries, {stats.puts} written this run")
     return 0
+
+
+def _cache_missing(args: argparse.Namespace, store: ArtifactStore, location) -> int:
+    """``cache missing`` — the resumable-state inspection dual of ``warm``.
+
+    Reports which of the (n, t) theorem/safety artifacts ``cache warm`` would
+    build are already present, without computing anything.  Exit code 1 when
+    at least one is missing, so scripts can gate a warm run on it.
+    """
+    from .kbp.programs import make_p0
+    from .protocols.pbasic import BasicProtocol
+    from .protocols.pmin import MinProtocol
+    from .store import implementation_report_key, safety_report_key
+    from .systems.contexts import gamma_basic, gamma_min
+    n, t = args.n, args.t
+    artifacts = [
+        ("Theorem 6.5 report (P_min implements P0 in gamma_min)",
+         implementation_report_key(MinProtocol(t), make_p0(n), gamma_min(n, t),
+                                   None, 10)),
+        ("Theorem 6.6 report (P_basic implements P0 in gamma_basic)",
+         implementation_report_key(BasicProtocol(t), make_p0(n), gamma_basic(n, t),
+                                   None, 10)),
+    ]
+    if args.safety:
+        artifacts.extend([
+            ("Definition 6.2 safety report in gamma_min",
+             safety_report_key(MinProtocol(t), gamma_min(n, t), 10)),
+            ("Definition 6.2 safety report in gamma_basic",
+             safety_report_key(BasicProtocol(t), gamma_basic(n, t), 10)),
+        ])
+    print(f"artifact store at {location}, n={n}, t={t}:")
+    missing = 0
+    for label, key in artifacts:
+        present = store.contains(key)
+        missing += 0 if present else 1
+        print(f"  [{'cached ' if present else 'MISSING'}] {label}")
+    if missing:
+        print(f"{missing} of {len(artifacts)} artifacts missing; "
+              f"'repro-eba cache warm --n {n} --t {t}"
+              f"{' --safety' if args.safety else ''}' builds them")
+        return 1
+    print(f"all {len(artifacts)} artifacts cached; a rerun is free")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the job server (:mod:`repro.service`) in the foreground."""
+    from .service import JobServer
+    store = _make_store(args)
+    if store is None:
+        # No cache flags: coalesce and re-serve within this server's lifetime,
+        # but do not touch the user's on-disk cache unasked.
+        store = ArtifactStore()
+        location = "in-memory (per-server; --cache/--cache-dir persists across restarts)"
+    else:
+        location = str(args.cache_dir if args.cache_dir is not None
+                       else default_cache_dir())
+    server = JobServer(host=args.host, port=args.port, store=store,
+                       workers=args.workers, executor=_make_executor(args),
+                       verbose=args.verbose)
+    host, port = server.address
+    print(f"repro-eba job server on http://{host}:{port} ({args.workers} worker(s))")
+    print(f"artifact store: {location}")
+    print("endpoints: POST /jobs | GET /jobs/<id> | GET /jobs/<id>/result | "
+          "POST /jobs/<id>/cancel | GET /healthz | GET /stats")
+    print("Ctrl-C stops the server gracefully")
+    sys.stdout.flush()
+    server.serve_until_interrupt()
+    print("server stopped; goodbye")
+    return 0
+
+
+def _submit_body(args: argparse.Namespace) -> dict:
+    """Build the wire-format request body for ``repro-eba submit``."""
+    from .service import run_request, sweep_request, theorem_request
+    if args.what == "run":
+        preferences, pattern = _build_scenario(args)
+        return run_request(args.protocol, args.t, args.n, preferences,
+                           pattern=pattern, horizon=args.horizon)
+    if args.what == "sweep":
+        protocols = [(name.strip(), args.t)
+                     for name in args.protocols.split(",") if name.strip()]
+        workload = {"n": args.n, "t": args.t, "count": args.count, "seed": args.seed}
+        if args.model is not None:
+            workload["model"] = args.model
+        return sweep_request(protocols, workload=workload, horizon=args.horizon)
+    return theorem_request(args.theorem, args.n, args.t)
+
+
+def _print_submit_result(payload: dict) -> int:
+    """Render a fetched job payload the way the one-shot commands would."""
+    if payload["kind"] == "run":
+        print(payload["timeline"])
+        print()
+        if payload["eba_ok"]:
+            print(f"EBA specification: OK (all nonfaulty decide by round "
+                  f"{payload['eba_deadline']})")
+            return 0
+        print("EBA specification violated:")
+        for violation in payload["violations"]:
+            print(f"  - {violation}")
+        return 1
+    if payload["kind"] == "sweep":
+        print(payload["table"])
+        return 0
+    status = "holds" if payload["holds"] else "FAILS"
+    print(f"Theorem {payload['theorem']} at n={payload['n']}, t={payload['t']}: "
+          f"{status} ({payload['checked_states']} states checked, "
+          f"{payload['mismatches']} mismatch(es))")
+    return 0 if payload["holds"] else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a job to a running server; optionally wait for the result."""
+    from .service import ServiceClient
+    client = ServiceClient(args.url, timeout=args.http_timeout)
+    receipt = client.submit(_submit_body(args))
+    how = ("coalesced onto an in-flight job" if receipt["coalesced"]
+           else "served from the warm store" if receipt["hit"]
+           else f"state: {receipt['state']}")
+    print(f"job {receipt['job'][:16]}… submitted ({how})", file=sys.stderr)
+    if not args.wait:
+        print(receipt["job"])
+        return 0
+    payload = client.wait(receipt["job"], poll_interval=args.poll,
+                          timeout=args.timeout)
+    return _print_submit_result(payload)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -361,10 +531,16 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser = subparsers.add_parser(
         "cache",
         help="inspect, clear, or warm the content-addressed artifact store")
-    cache_parser.add_argument("cache_command", choices=["stats", "clear", "warm"],
-                              help="stats: entries/sizes/kinds; clear: delete every "
-                                   "entry; warm: pre-build the (n, t) theorem-check "
-                                   "artifacts")
+    cache_parser.add_argument("cache_command",
+                              choices=["stats", "missing", "clear", "warm"],
+                              help="stats: entries/sizes/kinds; missing: which (n, t) "
+                                   "warm artifacts are absent (exit 1 if any); clear: "
+                                   "delete every entry; warm: pre-build the (n, t) "
+                                   "theorem-check artifacts")
+    cache_parser.add_argument("--json", action="store_true",
+                              help="with 'stats': print the machine-readable JSON "
+                                   "document (the same schema the service's /stats "
+                                   "endpoint embeds)")
     cache_parser.add_argument("--cache-dir", type=str, default=None, metavar="PATH",
                               help="store location (default: $REPRO_EBA_CACHE_DIR or "
                                    "~/.cache/repro-eba)")
@@ -379,6 +555,67 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--jobs", type=int, default=None,
                               help="worker processes; implies --parallel")
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    from .service.server import DEFAULT_PORT
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the HTTP job server (repro.service); submit with 'submit'")
+    serve_parser.add_argument("--host", type=str, default="127.0.0.1",
+                              help="interface to bind (default: loopback only)")
+    serve_parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                              help=f"TCP port (default {DEFAULT_PORT}; 0 picks a "
+                                   "free port)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="worker threads draining the job queue (default 2)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every HTTP request to stderr")
+    _add_backend_arguments(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit a run/sweep/theorem job to a running server")
+    submit_parser.add_argument("what", choices=["run", "sweep", "theorem"],
+                               help="which computation to submit")
+    submit_parser.add_argument("--url", type=str,
+                               default=f"http://127.0.0.1:{DEFAULT_PORT}",
+                               help="server base URL (default: the local default port)")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="poll until the job finishes and print its result "
+                                    "(without it: print the job id and exit)")
+    submit_parser.add_argument("--timeout", type=float, default=600.0,
+                               help="overall --wait deadline in seconds (default 600)")
+    submit_parser.add_argument("--poll", type=float, default=0.2,
+                               help="--wait poll interval in seconds (default 0.2)")
+    submit_parser.add_argument("--http-timeout", type=float, default=10.0,
+                               help="per-request HTTP timeout in seconds (default 10)")
+    submit_parser.add_argument("--protocol", choices=sorted(PROTOCOLS), default="min",
+                               help="protocol for 'run'")
+    submit_parser.add_argument("--protocols", type=str, default="min,basic,opt",
+                               help="comma-separated protocols for 'sweep'")
+    submit_parser.add_argument("--n", type=int, default=4, help="number of agents")
+    submit_parser.add_argument("--t", type=int, default=1, help="failure bound")
+    submit_parser.add_argument("--scenario",
+                               choices=["custom", "failure-free", "example71", "intro",
+                                        "hidden-chain", "random"],
+                               default="custom", help="scenario for 'run'")
+    submit_parser.add_argument("--preferences", type=str, default="",
+                               help="comma-separated initial preferences ('run')")
+    submit_parser.add_argument("--silent", type=str, default="",
+                               help="comma-separated silent agents ('run' custom)")
+    submit_parser.add_argument("--count", type=int, default=8,
+                               help="random scenarios for 'sweep' (default 8)")
+    submit_parser.add_argument("--seed", type=int, default=0,
+                               help="workload seed ('sweep' / 'run --scenario random')")
+    submit_parser.add_argument("--model", type=str, default=None,
+                               help="failure model for the 'sweep' workload "
+                                    "(default: sending omissions)")
+    submit_parser.add_argument("--horizon", type=int, default=None,
+                               help="simulation horizon override")
+    submit_parser.add_argument("--theorem", choices=list(THEOREMS), default="6.5",
+                               help="which implementation theorem for 'theorem'")
+    submit_parser.set_defaults(handler=_cmd_submit)
 
     list_parser = subparsers.add_parser("list", help="list experiments and protocols")
     list_parser.set_defaults(handler=_cmd_list)

@@ -60,3 +60,22 @@ class StoreError(ReproError):
     rather than crashing.  This error covers genuine misuse, e.g. asking for a
     content key of an object the canonical hasher has no rule for.
     """
+
+
+class ServiceError(ReproError):
+    """Raised by the job-server subsystem (:mod:`repro.service`).
+
+    Covers malformed wire-format requests (unknown protocol key, bad pattern
+    encoding), protocol-level client failures (submitting to a job id that does
+    not exist), and a submitted job that finished in the ``failed`` state —
+    the *server* survives worker exceptions; the error surfaces on the client
+    that asked for the result.
+    """
+
+
+class ServiceTimeout(ServiceError):
+    """Raised when a client-side wait (``submit_and_wait``) exceeds its deadline.
+
+    The job keeps running on the server; re-submitting the same request later
+    coalesces onto it (or hits the finished artifact) rather than recomputing.
+    """

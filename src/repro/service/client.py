@@ -1,0 +1,164 @@
+"""The thin job-submission client (``repro-eba submit``).
+
+Stdlib :mod:`urllib` only.  The client speaks the wire format of
+:mod:`repro.service.wire` and the endpoints of
+:mod:`repro.service.server`; its one piece of real logic is
+:meth:`ServiceClient.submit_and_wait` — synchronous polling with a deadline —
+plus bounded retry with exponential backoff on *transport* failures
+(connection refused/reset, which happen routinely while a server is still
+binding).  Retrying a submit is safe by construction: requests are content
+addressed, so a duplicate submission coalesces onto the first instead of
+recomputing.
+
+HTTP-level errors are never retried — a 400 is malformed forever, a 500
+carries the worker traceback — and surface as
+:class:`~repro.core.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from ..core.errors import ServiceError, ServiceTimeout
+from .jobs import CANCELLED, DONE, FAILED, TERMINAL_STATES
+
+
+class ServiceClient:
+    """A client for one job server.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``"http://127.0.0.1:8322"`` (no trailing slash needed).
+    timeout:
+        Per-HTTP-request socket timeout, seconds.
+    retries:
+        How many times a *transport*-failed request is retried.
+    backoff:
+        First retry delay, seconds; doubles per attempt (0.2 → 0.4 → 0.8 …).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 retries: int = 3, backoff: float = 0.2) -> None:
+        if retries < 0:
+            raise ServiceError(f"retries must be non-negative, got {retries}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    # ------------------------------------------------------------------ transport
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None,
+                 expect_errors: bool = False) -> dict:
+        """One HTTP round trip, JSON in / JSON out, with bounded retry.
+
+        ``expect_errors`` returns the decoded payload even on 4xx/5xx (status
+        polling wants the body of a 409/500, not an exception).
+        """
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        delay = self.backoff
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path, data=data, method=method,
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # The server answered: no retry. Decode its JSON error body.
+                payload = self._decode_error(exc)
+                if expect_errors:
+                    return payload
+                message = payload.get("error") or payload.get("state") or str(exc)
+                raise ServiceError(
+                    f"{method} {path} failed with HTTP {exc.code}: {message}") from exc
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                last_error = exc
+                if attempt < self.retries:
+                    time.sleep(delay)
+                    delay *= 2
+        raise ServiceError(
+            f"could not reach {self.base_url}{path} after {self.retries + 1} "
+            f"attempt(s): {last_error}") from last_error
+
+    @staticmethod
+    def _decode_error(exc: urllib.error.HTTPError) -> dict:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            return payload if isinstance(payload, dict) else {"error": repr(payload)}
+        except Exception:
+            return {"error": f"HTTP {exc.code}"}
+
+    # ------------------------------------------------------------------ endpoints
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, request: dict) -> dict:
+        """``POST /jobs``; returns the receipt ``{"job", "state", "coalesced", "hit"}``."""
+        return self._request("POST", "/jobs", body=request)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's payload (raises :class:`ServiceError` otherwise)."""
+        answer = self._request("GET", f"/jobs/{job_id}/result")
+        return answer["result"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    # ------------------------------------------------------------------ the workflow
+
+    def wait(self, job_id: str, poll_interval: float = 0.2,
+             timeout: Optional[float] = 120.0) -> dict:
+        """Poll until the job reaches a terminal state; return its result payload.
+
+        Raises :class:`~repro.core.errors.ServiceTimeout` at the deadline (the
+        job keeps running server-side) and :class:`ServiceError` if the job
+        failed (carrying the worker traceback) or was cancelled.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            state = status["state"]
+            if state in TERMINAL_STATES:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceTimeout(
+                    f"job {job_id} still {state} after {timeout:.1f}s "
+                    f"(it keeps running server-side; re-submit to re-attach)")
+            time.sleep(poll_interval)
+        if state == DONE:
+            return self.result(job_id)
+        if state == FAILED:
+            error = self._request("GET", f"/jobs/{job_id}/result",
+                                  expect_errors=True).get("error", "unknown error")
+            raise ServiceError(f"job {job_id} failed on the server:\n{error}")
+        assert state == CANCELLED
+        raise ServiceError(f"job {job_id} was cancelled")
+
+    def submit_and_wait(self, request: dict, poll_interval: float = 0.2,
+                        timeout: Optional[float] = 120.0) -> dict:
+        """Submit and synchronously wait; the client-side happy path.
+
+        A warm-store or coalesced submission resolves in one or two round
+        trips; everything else polls at ``poll_interval`` until ``timeout``.
+        """
+        receipt = self.submit(request)
+        if receipt["state"] == DONE:
+            return self.result(receipt["job"])
+        return self.wait(receipt["job"], poll_interval=poll_interval, timeout=timeout)
+
+
+__all__ = ["ServiceClient"]

@@ -1,0 +1,254 @@
+"""Jobs and the thread-safe, coalescing job queue.
+
+A :class:`Job` is one computation the service has been asked for, identified
+by its **content key** (see :func:`repro.service.wire.request_key`).  The
+:class:`JobQueue` is the rendezvous that makes the service scale under
+identical load:
+
+* **In-flight coalescing** — submitting a request whose key is already queued
+  or running returns the *existing* job; the second client polls the same job
+  id and fetches the same payload.  N concurrent identical submissions cost
+  one computation.
+* **Warm-store hits** — for ``run`` and ``theorem`` requests the job key *is*
+  the artifact-store key of the finished artifact, and for every kind the
+  executing worker goes through the store anyway; a submission whose artifact
+  is already cached completes at submit time without ever entering the queue.
+* **Failure isolation** — a worker exception marks the job ``failed`` (with
+  the traceback) and the server keeps serving; clients see the error when
+  they poll.  Re-submitting a failed key starts a fresh attempt.
+
+States move ``queued → running → done | failed``; ``cancelled`` is reachable
+only from ``queued`` (a running computation is not interrupted — its result
+would land in the store anyway).  All transitions happen under one lock, and
+``next_job`` blocks on the matching condition, so the queue is safe for any
+number of HTTP handler threads and worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..core.errors import ServiceError
+from .wire import JobRequest
+
+#: The job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States in which a job will not make further progress.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class Job:
+    """One submitted computation and its lifecycle bookkeeping.
+
+    Mutable by design — the queue mutates state under its lock; everything a
+    handler reads (:meth:`describe`) is copied out under the same lock.
+    """
+
+    def __init__(self, request: JobRequest) -> None:
+        self.request = request
+        self.state = QUEUED
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+        #: How many submissions this job absorbed (1 = never coalesced).
+        self.submissions = 1
+
+    @property
+    def key(self) -> str:
+        return self.request.key
+
+    @property
+    def wall_time(self) -> Optional[float]:
+        """Execution wall time in seconds (``None`` until the job finishes)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def describe(self) -> dict:
+        """The JSON-safe status view (``GET /jobs/<id>``)."""
+        info = {
+            "job": self.key,
+            "kind": self.request.kind,
+            "state": self.state,
+            "submissions": self.submissions,
+        }
+        if self.wall_time is not None:
+            info["wall_time"] = round(self.wall_time, 6)
+        if self.error is not None:
+            info["error"] = self.error
+        return info
+
+
+class JobQueue:
+    """Thread-safe FIFO job queue with content-key coalescing and counters.
+
+    The queue owns every job the server has seen (``_jobs`` maps key → job,
+    including finished ones, so late polls still resolve); ``_pending`` holds
+    the keys awaiting a worker.  One lock guards everything — operations are
+    dictionary-sized, so a single lock is simpler and plenty fast next to
+    simulations that run for milliseconds to minutes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._pending: Deque[str] = deque()
+        self._stopped = False
+        # -- counters (reported by /stats) ----------------------------------
+        self.submitted = 0    # every submission, coalesced or not
+        self.coalesced = 0    # submissions absorbed by a live (queued/running) job
+        self.store_hits = 0   # submissions answered from the warm artifact store
+        self.executed = 0     # jobs a worker actually computed to completion
+        self.failed = 0
+        self.cancelled = 0
+
+    # ------------------------------------------------------------------ submit
+
+    def submit(self, request: JobRequest,
+               warm_result: Optional[dict] = None) -> tuple:
+        """Register a submission; returns ``(job, coalesced)``.
+
+        ``warm_result`` is the pre-rendered payload when the submitter found
+        the artifact already in the store: the job is created *born finished*
+        (state ``done``), counted as a store hit, and never queued.
+
+        Coalescing: a live job (queued/running) with the same key absorbs the
+        submission.  A finished job also absorbs it — ``done`` re-serves the
+        retained payload (counted as a hit: the result already exists), while
+        ``failed``/``cancelled`` re-enqueue a fresh attempt under the same key.
+        """
+        with self._lock:
+            self.submitted += 1
+            job = self._jobs.get(request.key)
+            if job is not None:
+                if job.state in (QUEUED, RUNNING):
+                    job.submissions += 1
+                    self.coalesced += 1
+                    return job, True
+                if job.state == DONE:
+                    job.submissions += 1
+                    self.store_hits += 1
+                    return job, False
+                # failed / cancelled: fall through to a fresh attempt.
+            job = Job(request)
+            self._jobs[request.key] = job
+            if warm_result is not None:
+                job.state = DONE
+                job.started_at = job.finished_at = time.time()
+                job.result = warm_result
+                self.store_hits += 1
+                return job, False
+            self._pending.append(request.key)
+            self._ready.notify()
+            return job, False
+
+    # ------------------------------------------------------------------ lookup
+
+    def get(self, key: str) -> Job:
+        """The job with this id; raises :class:`ServiceError` if unknown."""
+        with self._lock:
+            job = self._jobs.get(key)
+        if job is None:
+            raise ServiceError(f"unknown job {key!r}")
+        return job
+
+    def cancel(self, key: str) -> Job:
+        """Cancel a queued job (running and finished jobs are left alone)."""
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None:
+                raise ServiceError(f"unknown job {key!r}")
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                self.cancelled += 1
+            return job
+
+    # ------------------------------------------------------------------ worker side
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Block until a job is available (skipping cancelled ones) or the
+        queue stops; returns the job already moved to ``running``, or ``None``."""
+        with self._lock:
+            while True:
+                while self._pending:
+                    key = self._pending.popleft()
+                    job = self._jobs[key]
+                    if job.state != QUEUED:  # cancelled while waiting
+                        continue
+                    job.state = RUNNING
+                    job.started_at = time.time()
+                    return job
+                if self._stopped:
+                    return None
+                if not self._ready.wait(timeout=timeout):
+                    return None
+
+    def finish(self, job: Job, result: dict) -> None:
+        """Mark a running job done with its rendered payload."""
+        with self._lock:
+            job.result = result
+            job.state = DONE
+            job.finished_at = time.time()
+            self.executed += 1
+
+    def fail(self, job: Job, error: str) -> None:
+        """Mark a running job failed; the queue (and server) keep going."""
+        with self._lock:
+            job.error = error
+            job.state = FAILED
+            job.finished_at = time.time()
+            self.failed += 1
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def stop(self) -> None:
+        """Wake every waiting worker with "no more jobs"."""
+        with self._lock:
+            self._stopped = True
+            self._ready.notify_all()
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict:
+        """The queue's JSON-safe counters and per-job wall times (``/stats``)."""
+        with self._lock:
+            jobs: List[dict] = []
+            queue_depth = 0
+            in_flight = 0
+            for job in self._jobs.values():
+                if job.state == QUEUED:
+                    queue_depth += 1
+                elif job.state == RUNNING:
+                    in_flight += 1
+                entry = {"job": job.key, "kind": job.request.kind,
+                         "state": job.state, "submissions": job.submissions}
+                if job.wall_time is not None:
+                    entry["wall_time"] = round(job.wall_time, 6)
+                jobs.append(entry)
+            return {
+                "queue_depth": queue_depth,
+                "in_flight": in_flight,
+                "submitted": self.submitted,
+                "coalesced": self.coalesced,
+                "store_hits": self.store_hits,
+                "executed": self.executed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "jobs": jobs,
+            }
+
+
+__all__ = ["CANCELLED", "DONE", "FAILED", "Job", "JobQueue", "QUEUED",
+           "RUNNING", "TERMINAL_STATES"]

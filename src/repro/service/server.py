@@ -1,0 +1,248 @@
+"""The HTTP job server (``repro-eba serve``).
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` front end (one thread
+per connection, fine for a polling protocol) over the coalescing
+:class:`~repro.service.jobs.JobQueue` and a
+:class:`~repro.service.workers.WorkerPool`.  The API is five endpoints plus
+health and stats:
+
+=========================  ==================================================
+endpoint                   meaning
+=========================  ==================================================
+``POST /jobs``             submit a JSON request (run / sweep / theorem);
+                           returns the job id (= content key), its state, and
+                           whether the submission coalesced or hit the store
+``GET  /jobs/<id>``        poll status
+``GET  /jobs/<id>/result`` fetch the rendered payload (409 while pending,
+                           500 + traceback if the job failed, 410 cancelled)
+``POST /jobs/<id>/cancel`` cancel a *queued* job (running jobs finish)
+``GET  /healthz``          liveness probe
+``GET  /stats``            queue depth, in-flight, hit/coalesce counters,
+                           per-job wall times, and the artifact store's
+                           ``cache stats --json`` payload
+=========================  ==================================================
+
+Use :class:`JobServer` programmatically (it is a context manager and binds
+port 0 to a free port, which is what the tests do), or through the CLI::
+
+    repro-eba serve --port 8642 --workers 2 --cache
+    repro-eba submit theorem --theorem 6.5 --n 3 --t 1 --wait
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..core.errors import ServiceError
+from .jobs import CANCELLED, DONE, FAILED, JobQueue
+from .wire import decode_request
+from .workers import WorkerPool, probe_warm
+
+#: Default TCP port (no registered meaning; "EBA" on a phone keypad is 322,
+#: and 8322 is free in the IANA registry's user range).
+DEFAULT_PORT = 8322
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning :class:`JobServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_ServiceHTTPServer"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("empty request body; expected a JSON object")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if self.server.service.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        path = self.path.rstrip("/")
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+            return
+        if path == "/stats":
+            self._send_json(200, service.describe_stats())
+            return
+        if path.startswith("/jobs/"):
+            parts = path[len("/jobs/"):].split("/")
+            try:
+                if len(parts) == 1:
+                    self._send_json(200, service.queue.get(parts[0]).describe())
+                    return
+                if len(parts) == 2 and parts[1] == "result":
+                    self._send_result(parts[0])
+                    return
+            except ServiceError as exc:
+                self._send_json(404, {"error": str(exc)})
+                return
+        self._send_json(404, {"error": f"no such endpoint: GET {self.path}"})
+
+    def _send_result(self, key: str) -> None:
+        job = self.server.service.queue.get(key)  # raises ServiceError -> 404
+        if job.state == DONE:
+            self._send_json(200, {"job": job.key, "state": job.state,
+                                  "result": job.result})
+        elif job.state == FAILED:
+            self._send_json(500, {"job": job.key, "state": job.state,
+                                  "error": job.error})
+        elif job.state == CANCELLED:
+            self._send_json(410, {"job": job.key, "state": job.state})
+        else:
+            self._send_json(409, {"job": job.key, "state": job.state})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        path = self.path.rstrip("/")
+        if path == "/jobs":
+            try:
+                body = self._read_body()
+                receipt = service.submit(body)
+            except ServiceError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            status = 200 if receipt["state"] == DONE else 202
+            self._send_json(status, receipt)
+            return
+        if path.startswith("/jobs/") and path.endswith("/cancel"):
+            key = path[len("/jobs/"):-len("/cancel")]
+            try:
+                job = service.queue.cancel(key)
+            except ServiceError as exc:
+                self._send_json(404, {"error": str(exc)})
+                return
+            self._send_json(200, job.describe())
+            return
+        self._send_json(404, {"error": f"no such endpoint: POST {self.path}"})
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Back-reference set by JobServer before the first request.
+    service: "JobServer"
+
+
+class JobServer:
+    """The assembled service: HTTP front end + job queue + worker pool.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    store:
+        The shared :class:`~repro.store.ArtifactStore` — the coalescing and
+        warm-hit substrate.  ``None`` keeps in-flight coalescing but serves
+        nothing across restarts.
+    workers:
+        Worker-thread count draining the queue.
+    executor:
+        Optional per-job :class:`~repro.api.executors.Executor`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 store=None, workers: int = 2, executor=None,
+                 verbose: bool = False) -> None:
+        self.store = store
+        self.verbose = verbose
+        self.queue = JobQueue()
+        self.pool = WorkerPool(self.queue, store=store, executor=executor,
+                               workers=workers)
+        self._httpd = _ServiceHTTPServer((host, port), _ServiceHandler)
+        self._httpd.service = self
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ requests
+
+    def submit(self, body: object) -> dict:
+        """Decode, coalesce/warm-check, and (if needed) enqueue a submission.
+
+        The returned receipt is what ``POST /jobs`` sends back::
+
+            {"job": <content key>, "state": ..., "coalesced": bool, "hit": bool}
+        """
+        request = decode_request(body)
+        warm = probe_warm(request, self.store)
+        job, coalesced = self.queue.submit(request, warm_result=warm)
+        return {"job": job.key, "state": job.state, "coalesced": coalesced,
+                "hit": job.state == DONE and not coalesced}
+
+    def describe_stats(self) -> dict:
+        """The ``GET /stats`` payload: queue counters plus store stats."""
+        payload = {"service": self.queue.stats(), "workers": self.pool.workers}
+        if self.store is not None:
+            payload["store"] = self.store.stats().as_dict()
+        else:
+            payload["store"] = None
+        return payload
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` to the real port."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "JobServer":
+        """Start the worker pool and the HTTP listener (both in background threads)."""
+        self.pool.start()
+        self._serve_thread = threading.Thread(target=self._httpd.serve_forever,
+                                              name="repro-serve", daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain workers, release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10.0)
+            self._serve_thread = None
+        self.pool.stop()
+
+    def serve_until_interrupt(self) -> None:
+        """Foreground serving loop for the CLI; SIGINT shuts down gracefully."""
+        self.pool.start()
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._httpd.server_close()
+            self.pool.stop()
+
+    def __enter__(self) -> "JobServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = ["DEFAULT_PORT", "JobServer"]

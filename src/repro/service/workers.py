@@ -1,0 +1,103 @@
+"""The worker pool that drains the job queue.
+
+Workers are plain threads: each loops on :meth:`JobQueue.next_job`, executes
+the decoded request through the ordinary library entry points
+(:func:`repro.service.wire.execute_request` → ``repro.api`` executors +
+the shared :class:`~repro.store.ArtifactStore`), and posts the rendered
+payload back.  Threads are the right grain here because the work itself is
+either store-served (I/O) or dominated by long-running simulation/model
+checking — and a worker can additionally be handed a
+:class:`~repro.api.executors.ParallelExecutor` to fan one job's runs out over
+a process pool.
+
+Worker exceptions never escape the loop: the job moves to ``failed`` carrying
+the traceback, the worker picks up the next job, and the server keeps
+serving — acceptance-criterion behaviour, pinned by ``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import List, Optional
+
+from .jobs import JobQueue
+from .wire import JobRequest, execute_request, render_result
+
+
+def probe_warm(request: JobRequest, store) -> Optional[dict]:
+    """The rendered payload if the store already holds the request's artifact.
+
+    Every request kind's job key *is* its artifact-store key (trace for
+    ``run``, result set for ``sweep``, report for ``theorem``), so one store
+    read answers "has this exact computation happened before, in any process,
+    ever" — the cross-run half of request coalescing.  Corrupt entries read
+    as misses (the store's contract), so a damaged cache degrades to a normal
+    queued execution.
+    """
+    if store is None:
+        return None
+    artifact = store.get(request.key)
+    if artifact is None:
+        return None
+    return render_result(request, artifact)
+
+
+class WorkerPool:
+    """``workers`` threads draining a :class:`JobQueue` through one store.
+
+    Parameters
+    ----------
+    queue:
+        The shared job queue.
+    store:
+        The :class:`~repro.store.ArtifactStore` every execution goes through
+        (``None`` = no caching; coalescing still deduplicates in-flight work).
+    executor:
+        Optional :class:`~repro.api.executors.Executor` handed to every
+        execution (e.g. a process pool for big builds); ``None`` = serial.
+    workers:
+        Thread count.  Identical submissions coalesce *before* reaching the
+        pool, so extra workers only help genuinely distinct jobs.
+    """
+
+    def __init__(self, queue: JobQueue, store=None, executor=None,
+                 workers: int = 2) -> None:
+        if workers < 1:
+            from ..core.errors import ServiceError
+            raise ServiceError(f"worker count must be >= 1, got {workers}")
+        self.queue = queue
+        self.store = store
+        self.executor = executor
+        self.workers = workers
+        self._threads: List[threading.Thread] = []
+
+    def start(self) -> None:
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._run, name=f"repro-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _run(self) -> None:
+        while True:
+            job = self.queue.next_job()
+            if job is None:
+                return
+            try:
+                payload = execute_request(job.request, executor=self.executor,
+                                          store=self.store)
+            except Exception:
+                self.queue.fail(job, traceback.format_exc())
+            else:
+                self.queue.finish(job, payload)
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop the queue and join every worker (bounded per-thread wait)."""
+        self.queue.stop()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+
+__all__ = ["WorkerPool", "probe_warm"]

@@ -35,6 +35,7 @@ import io
 import json
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -87,6 +88,24 @@ class StoreStats:
         if self.corrupted:
             lines.append(f"corrupted    : {self.corrupted} (deleted, recomputed)")
         return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The machine-readable view (``cache stats --json``, the service's
+        ``/stats``).  The schema is pinned by ``tests/test_cli.py``; treat key
+        removals or renames as breaking changes to both consumers.
+        """
+        return {
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "session": {
+                "hits": self.hits,
+                "memory_hits": self.memory_hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "corrupted": self.corrupted,
+            },
+        }
 
 
 def _format_bytes(size: int) -> str:
@@ -162,6 +181,12 @@ class ArtifactStore:
         self.max_bytes = max_bytes
         self.memory_entries = memory_entries
         self._memory: "OrderedDict[str, object]" = OrderedDict()
+        # One store instance is shared across threads (the service's worker
+        # pool, concurrent sweeps); the backend is safe on its own (atomic
+        # files / a dict), but the memory LRU, the counters, and the size
+        # estimate are read-modify-write state that needs a lock.  Reentrant
+        # because put() may call evict_to().
+        self._lock = threading.RLock()
         # Running upper bound on the backend footprint, so put() can decide
         # whether eviction is even needed without walking the backend every
         # time.  Overwrites make it over-count, which only triggers an exact
@@ -184,27 +209,28 @@ class ArtifactStore:
         later in-process hits while the on-disk copy keeps the original —
         the same sharing contract as ``functools.lru_cache``.
         """
-        if key in self._memory:
-            self._memory.move_to_end(key)
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self._hits += 1
+                self._memory_hits += 1
+                return self._memory[key]
+            payload = self.backend.get(key)
+            if payload is None:
+                self._misses += 1
+                return None
+            try:
+                artifact = _decode(payload)
+            except Exception:
+                # Corruption recovery: drop the entry and report a miss so the
+                # caller recomputes; never propagate a damaged cache as an error.
+                self.backend.delete(key)
+                self._corrupted += 1
+                self._misses += 1
+                return None
             self._hits += 1
-            self._memory_hits += 1
-            return self._memory[key]
-        payload = self.backend.get(key)
-        if payload is None:
-            self._misses += 1
-            return None
-        try:
-            artifact = _decode(payload)
-        except Exception:
-            # Corruption recovery: drop the entry and report a miss so the
-            # caller recomputes; never propagate a damaged cache as an error.
-            self.backend.delete(key)
-            self._corrupted += 1
-            self._misses += 1
-            return None
-        self._hits += 1
-        self._remember(key, artifact)
-        return artifact
+            self._remember(key, artifact)
+            return artifact
 
     def put(self, key: str, artifact: object, kind: str = "artifact",
             serializer: str = "pickle") -> None:
@@ -217,21 +243,23 @@ class ArtifactStore:
         if serializer not in _SERIALIZERS:
             raise StoreError(f"unknown serializer {serializer!r}; use one of {_SERIALIZERS}")
         payload = _encode(artifact, kind, serializer)
-        self.backend.put(key, payload)
-        self._puts += 1
-        self._remember(key, artifact)
-        if self.max_bytes is not None:
-            if self._size_estimate is None:
-                self._size_estimate = self.total_bytes()
-            else:
-                self._size_estimate += len(payload)
-            if self._size_estimate > self.max_bytes:
-                self.evict_to(self.max_bytes, protect=key)
+        with self._lock:
+            self.backend.put(key, payload)
+            self._puts += 1
+            self._remember(key, artifact)
+            if self.max_bytes is not None:
+                if self._size_estimate is None:
+                    self._size_estimate = self.total_bytes()
+                else:
+                    self._size_estimate += len(payload)
+                if self._size_estimate > self.max_bytes:
+                    self.evict_to(self.max_bytes, protect=key)
 
     def contains(self, key: str) -> bool:
         """Whether the key is present — no payload read, no hit counted, and no
         recency update (so checkpoint scans cannot perturb LRU eviction)."""
-        return key in self._memory or self.backend.contains(key)
+        with self._lock:
+            return key in self._memory or self.backend.contains(key)
 
     def _remember(self, key: str, artifact: object) -> None:
         if self.memory_entries <= 0:
@@ -261,31 +289,33 @@ class ArtifactStore:
         (directory-listing order).  The key is the deterministic tie-break:
         same store state, same evictions, on every platform.
         """
-        entries = sorted(self.backend.entries(),
-                         key=lambda entry: (entry.last_used, entry.key))
-        total = sum(entry.size for entry in entries)
-        evicted = 0
-        for entry in entries:
-            if total <= max_bytes:
-                break
-            if entry.key == protect:
-                continue
-            if self.backend.delete(entry.key):
-                self._memory.pop(entry.key, None)
-                total -= entry.size
-                evicted += 1
-        self._size_estimate = total  # exact again after the walk
-        return evicted
+        with self._lock:
+            entries = sorted(self.backend.entries(),
+                             key=lambda entry: (entry.last_used, entry.key))
+            total = sum(entry.size for entry in entries)
+            evicted = 0
+            for entry in entries:
+                if total <= max_bytes:
+                    break
+                if entry.key == protect:
+                    continue
+                if self.backend.delete(entry.key):
+                    self._memory.pop(entry.key, None)
+                    total -= entry.size
+                    evicted += 1
+            self._size_estimate = total  # exact again after the walk
+            return evicted
 
     def clear(self) -> int:
         """Delete every entry (and the memory layer); returns the number deleted."""
-        deleted = 0
-        for entry in list(self.backend.entries()):
-            if self.backend.delete(entry.key):
-                deleted += 1
-        self._memory.clear()
-        self._size_estimate = 0
-        return deleted
+        with self._lock:
+            deleted = 0
+            for entry in list(self.backend.entries()):
+                if self.backend.delete(entry.key):
+                    deleted += 1
+            self._memory.clear()
+            self._size_estimate = 0
+            return deleted
 
     def stats(self) -> StoreStats:
         """Current footprint (from the backend) plus this process's counters.
@@ -294,9 +324,10 @@ class ArtifactStore:
         payload header and leaves recency untouched — running ``cache stats``
         must not reorder (or fully re-read) the cache it is describing.
         """
-        stats = StoreStats(hits=self._hits, misses=self._misses,
-                           memory_hits=self._memory_hits, puts=self._puts,
-                           corrupted=self._corrupted)
+        with self._lock:
+            stats = StoreStats(hits=self._hits, misses=self._misses,
+                               memory_hits=self._memory_hits, puts=self._puts,
+                               corrupted=self._corrupted)
         for entry in self.backend.entries():
             stats.entries += 1
             stats.total_bytes += entry.size

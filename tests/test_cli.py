@@ -137,3 +137,102 @@ class TestListCommand:
             assert key in captured.out
         for protocol in PROTOCOLS:
             assert protocol in captured.out
+
+
+class TestCacheInspection:
+    """``cache stats --json`` (schema-pinned) and ``cache missing``."""
+
+    def test_cache_stats_json_schema(self, tmp_path, capsys):
+        """The JSON document is an interface: the service's /stats endpoint
+        embeds it and external tooling parses it, so its keys are pinned."""
+        import json as json_module
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "warm", "--n", "3", "--t", "1",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json", "--cache-dir", cache_dir]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert set(payload) == {"location", "entries", "total_bytes",
+                                "by_kind", "session"}
+        assert set(payload["session"]) == {"hits", "memory_hits", "misses",
+                                           "puts", "corrupted"}
+        assert payload["location"] == cache_dir
+        assert payload["entries"] == 4
+        assert payload["by_kind"]["implementation-report"] == 2
+        assert payload["total_bytes"] > 0
+
+    def test_service_stats_embeds_the_same_document(self, tmp_path):
+        from repro.service import JobServer
+        from repro.store import default_store
+        store = default_store(tmp_path / "cache")
+        stats = JobServer(port=0, workers=1, store=store).describe_stats()
+        assert set(stats["store"]) == {"entries", "total_bytes", "by_kind",
+                                       "session"}
+
+    def test_cache_missing_cold_then_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "missing", "--n", "3", "--t", "1",
+                     "--cache-dir", cache_dir]) == 1
+        out = capsys.readouterr().out
+        assert out.count("MISSING") == 2 and "cache warm" in out
+        assert main(["cache", "warm", "--n", "3", "--t", "1",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "missing", "--n", "3", "--t", "1",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "MISSING" not in out and "all 2 artifacts cached" in out
+        # --safety widens the artifact list; those reports were not warmed.
+        assert main(["cache", "missing", "--n", "3", "--t", "1", "--safety",
+                     "--cache-dir", cache_dir]) == 1
+        out = capsys.readouterr().out
+        assert out.count("MISSING") == 2 and out.count("cached ") == 2
+
+
+class TestSweepResumeMessage:
+    """``--cache`` surfaces partial-sweep resumes on stderr (satellite of the
+    resumable-sweep machinery; the library itself stays silent)."""
+
+    def _e2_spec(self, n, t):
+        """The exact sweep ``experiment e2`` builds at (n, t)."""
+        from repro.api import Sweep
+        from repro.protocols import BasicProtocol, MinProtocol
+        from repro.protocols.popt import OptimalFipProtocol
+        from repro.workloads.scenarios import failure_free_scenarios
+        labelled = failure_free_scenarios(n)
+        return (Sweep.of(MinProtocol(t), BasicProtocol(t), OptimalFipProtocol(t))
+                .on([scenario for _, scenario in labelled], n=n).build())
+
+    def test_partial_cache_prints_resume_line(self, tmp_path, capsys):
+        from repro.api.executors import execute_task
+        from repro.store import default_store, run_task_key
+        cache_dir = tmp_path / "cache"
+        spec = self._e2_spec(3, 1)
+        tasks = spec.tasks()
+        # Simulate an interrupted sweep: exactly one run already cached.
+        store = default_store(cache_dir)
+        store.put(run_task_key(tasks[0]), execute_task(tasks[0]), kind="run")
+        assert main(["experiment", "e2", "--n", "3", "--t", "1",
+                     "--cache-dir", str(cache_dir)]) == 0
+        err = capsys.readouterr().err
+        assert (f"cache: resuming {len(tasks) - 1} of {len(tasks)} runs "
+                f"(1 already cached)") in err
+        # Now fully warm: the rerun is silent (sweep-level hit, no resume).
+        assert main(["experiment", "e2", "--n", "3", "--t", "1",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert "cache: resuming" not in capsys.readouterr().err
+
+    def test_cold_and_uncached_runs_print_nothing(self, tmp_path, capsys):
+        # Cold store: nothing to resume, no message.
+        assert main(["experiment", "e2", "--n", "3", "--t", "1",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "cache: resuming" not in capsys.readouterr().err
+        # No store configured: the notifier is never installed.
+        assert main(["experiment", "e2", "--n", "3", "--t", "1"]) == 0
+        assert "cache: resuming" not in capsys.readouterr().err
+
+    def test_notifier_is_uninstalled_after_the_command(self, tmp_path):
+        from repro.api import specs as specs_module
+        assert main(["experiment", "e2", "--n", "3", "--t", "1",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert specs_module._RESUME_NOTIFIER is None

@@ -13,6 +13,8 @@ Covers the correctness properties the cache must not lose:
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core.errors import StoreError
@@ -338,3 +340,113 @@ class TestResolution:
         monkeypatch.setenv(store_module.CACHE_MAX_BYTES_ENV, "not-a-number")
         with pytest.raises(StoreError, match="byte count"):
             default_store(tmp_path)
+
+
+# --------------------------------------------------------------------------- concurrency
+
+
+def _process_writer(root: str, key: str, worker: int, rounds: int) -> bool:
+    """Hammer one key from a separate process (top-level for picklability)."""
+    store = default_store(root)
+    for round_index in range(rounds):
+        store.put(key, {"worker": worker, "round": round_index}, kind="race")
+        if store.get(key) is None:
+            return False
+    return True
+
+
+class TestConcurrentAccess:
+    """The store is shared by HTTP handler threads, worker threads, and
+    (through the filesystem backend) independent processes — the substrate
+    the service's coalescing sits on, so the races are pinned here."""
+
+    def test_threads_writing_the_same_key_race_safely(self, tmp_path):
+        store = default_store(tmp_path)
+        key = "a" * 64
+        payloads = [{"writer": index, "data": list(range(50))}
+                    for index in range(8)]
+        errors = []
+
+        def write(index):
+            try:
+                for _ in range(25):
+                    store.put(key, payloads[index], kind="race")
+                    value = store.get(key)
+                    assert value in payloads  # never a torn/interleaved value
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(index,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert store.get(key) in payloads
+        assert store.stats().entries == 1
+
+    def test_threads_mixing_puts_gets_and_eviction(self, tmp_path):
+        """Eviction + memory-LRU bookkeeping under contention: the shared
+        OrderedDict and counters sit behind the store's lock."""
+        store = default_store(tmp_path)
+        store.max_bytes = 4096  # small enough to evict constantly
+        errors = []
+
+        def churn(worker):
+            try:
+                for index in range(40):
+                    key = f"{worker:02d}{index % 5:062d}"
+                    store.put(key, {"worker": worker, "index": index})
+                    store.get(key)
+                    store.contains(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(worker,))
+                   for worker in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        stats = store.stats()  # coherent snapshot, no negative counters
+        assert stats.puts == 6 * 40 and stats.total_bytes >= 0
+
+    def test_processes_writing_the_same_key_race_safely(self, tmp_path):
+        """Two processes, one filesystem key: temp-file + os.replace writes
+        mean readers only ever see complete payloads."""
+        import multiprocessing
+        context = multiprocessing.get_context("fork")
+        key = "b" * 64
+        with context.Pool(2) as pool:
+            outcomes = pool.starmap(
+                _process_writer,
+                [(str(tmp_path), key, worker, 20) for worker in range(2)])
+        assert outcomes == [True, True]
+        final = default_store(tmp_path).get(key)
+        assert final is not None and final["round"] == 19
+
+    def test_concurrent_caching_executor_runs_share_one_store(self, tmp_path):
+        """Two threads executing the identical run through CachingExecutor:
+        both get the correct trace and the store ends with one entry."""
+        from repro.api import SerialExecutor
+        from repro.protocols import MinProtocol
+        from repro.failures import FailurePattern as Pattern
+        from repro.store import CachingExecutor
+        store = default_store(tmp_path)
+        task = (MinProtocol(1), 3, (1, 0, 1), Pattern.failure_free(3), None)
+        reference = SerialExecutor().run_tasks([task])[0]
+        results = [None, None]
+
+        def run(slot):
+            results[slot] = CachingExecutor(store).run_tasks([task])[0]
+
+        threads = [threading.Thread(target=run, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert results[0] == results[1] == reference
+        assert store.stats().by_kind == {"run": 1}
