@@ -57,6 +57,16 @@ def execute_task(task: RunTask) -> RunTrace:
     return simulate(protocol, n, preferences, pattern=pattern, horizon=horizon)
 
 
+def _execute_task_chunk(tasks: Sequence[RunTask]) -> List[RunTrace]:
+    """One pool work item: a contiguous chunk of run tasks, in order."""
+    return [execute_task(task) for task in tasks]
+
+
+def _execute_batch_chunk(batches: Sequence[BatchTask]) -> List[RunTrace]:
+    """One pool work item: a contiguous chunk of batch tasks, in order."""
+    return execute_batches(batches)
+
+
 @runtime_checkable
 class Executor(Protocol):
     """The execution-backend interface.
@@ -98,30 +108,78 @@ class ParallelExecutor:
         How many tasks each worker picks up at a time.  Defaults to a heuristic
         (roughly ``len(tasks) / (4 * max_workers)``, at least 1) that amortises
         pickling overhead on large sweeps.
+    pool_retries:
+        How many times a **dead process pool** is rebuilt before giving up.
+        A worker process dying (OOM kill, segfault, a crashing task) breaks
+        the whole ``ProcessPoolExecutor``; instead of aborting the sweep, the
+        executor rebuilds the pool and resubmits only the chunks that never
+        finished — completed chunks keep their results, so nothing is
+        recomputed and the output stays byte-identical to a serial run.
 
     Determinism
     -----------
-    ``ProcessPoolExecutor.map`` yields results in submission order regardless
-    of which worker finishes first, and every simulation run is itself a pure
-    function of its task, so the returned traces are identical to
-    :class:`SerialExecutor`'s for any workload and any worker count.
+    Chunks are indexed by position and their results reassembled in
+    submission order regardless of which worker (or which pool incarnation)
+    finishes first, and every simulation run is itself a pure function of its
+    task, so the returned traces are identical to :class:`SerialExecutor`'s
+    for any workload, any worker count, and any number of pool rebuilds.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
-                 chunksize: Optional[int] = None) -> None:
+                 chunksize: Optional[int] = None,
+                 pool_retries: int = 2) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         if chunksize is not None and chunksize < 1:
             raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+        if pool_retries < 0:
+            raise ConfigurationError(f"pool_retries must be non-negative, got {pool_retries}")
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.pool_retries = pool_retries
 
     def _effective_workers(self) -> int:
         return self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
 
-    def run_tasks(self, tasks: Sequence[RunTask]) -> List[RunTrace]:
-        from concurrent.futures import ProcessPoolExecutor
+    def _map_chunks(self, function, chunks: List[list], workers: int) -> List[list]:
+        """Run ``function`` over every chunk, surviving pool death.
 
+        Submits each chunk as its own future (so a broken pool loses only the
+        chunks that had not completed), collects results by chunk index, and
+        on :class:`~concurrent.futures.process.BrokenProcessPool` rebuilds the
+        pool for the unfinished remainder — up to ``pool_retries`` rebuilds.
+        A chunk raising an ordinary exception propagates unchanged: task
+        errors are real errors, only pool death is retried.
+        """
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        results: List[Optional[list]] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        rebuilds = 0
+        while pending:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                futures = {pool.submit(function, chunks[index]): index
+                           for index in pending}
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        # The pool marks every unfinished future with this
+                        # error; keep draining so completed chunks are kept.
+                        pass
+            pending = [index for index in pending if results[index] is None]
+            if pending:
+                rebuilds += 1
+                if rebuilds > self.pool_retries:
+                    raise BrokenProcessPool(
+                        f"process pool died {rebuilds} time(s) with "
+                        f"{len(pending)} chunk(s) unfinished; giving up "
+                        f"(pool_retries={self.pool_retries})")
+        return results  # type: ignore[return-value]  # every slot filled
+
+    def run_tasks(self, tasks: Sequence[RunTask]) -> List[RunTrace]:
         tasks = list(tasks)
         workers = min(self._effective_workers(), max(1, len(tasks)))
         if workers == 1 or len(tasks) <= 1:
@@ -130,8 +188,12 @@ class ParallelExecutor:
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, len(tasks) // (4 * workers))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_task, tasks, chunksize=chunksize))
+        chunks = [list(tasks[start:start + chunksize])
+                  for start in range(0, len(tasks), chunksize)]
+        traces: List[RunTrace] = []
+        for chunk_traces in self._map_chunks(_execute_task_chunk, chunks, workers):
+            traces.extend(chunk_traces)
+        return traces
 
     def run_batches(self, batches: Sequence[BatchTask]) -> List[RunTrace]:
         """Fan batched-construction work items out over the pool, preserving order.
@@ -142,12 +204,11 @@ class ParallelExecutor:
         through one worker-side
         :class:`~repro.simulation.batch.BatchSimulator`, so the round-major
         sharing survives inside every chunk while the chunks themselves run in
-        parallel.  ``ProcessPoolExecutor.map`` keeps submission order, and each
+        parallel.  Chunk results are reassembled in submission order, and each
         batch is a pure function of its task, so the concatenated traces are
-        identical to :meth:`SerialExecutor.run_batches`'s for any chunking.
+        identical to :meth:`SerialExecutor.run_batches`'s for any chunking —
+        including after a mid-sweep pool rebuild (see :meth:`_map_chunks`).
         """
-        from concurrent.futures import ProcessPoolExecutor
-
         batches = list(batches)
         workers = min(self._effective_workers(), max(1, len(batches)))
         if workers == 1 or len(batches) <= 1:
@@ -159,14 +220,16 @@ class ParallelExecutor:
             # better than the IPC-amortising heuristic above and costs
             # nothing.
             chunksize = 1
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            traces: List[RunTrace] = []
-            for batch_traces in pool.map(execute_batch, batches, chunksize=chunksize):
-                traces.extend(batch_traces)
-            return traces
+        chunks = [list(batches[start:start + chunksize])
+                  for start in range(0, len(batches), chunksize)]
+        traces: List[RunTrace] = []
+        for chunk_traces in self._map_chunks(_execute_batch_chunk, chunks, workers):
+            traces.extend(chunk_traces)
+        return traces
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ParallelExecutor(max_workers={self.max_workers}, chunksize={self.chunksize})"
+        return (f"ParallelExecutor(max_workers={self.max_workers}, "
+                f"chunksize={self.chunksize}, pool_retries={self.pool_retries})")
 
 
 def resolve_executor(executor: Optional[Executor]) -> Executor:

@@ -389,10 +389,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        else default_cache_dir())
     server = JobServer(host=args.host, port=args.port, store=store,
                        workers=args.workers, executor=_make_executor(args),
-                       verbose=args.verbose)
+                       verbose=args.verbose, journal=args.journal,
+                       max_queue=args.max_queue, job_timeout=args.job_timeout,
+                       task_retries=args.task_retries)
     host, port = server.address
     print(f"repro-eba job server on http://{host}:{port} ({args.workers} worker(s))")
     print(f"artifact store: {location}")
+    if server.journal is not None:
+        recovered = server.queue.recovered
+        print(f"journal: {server.journal.path} (recovered "
+              f"{recovered.get('done', 0)} done, {recovered.get('failed', 0)} failed, "
+              f"{recovered.get('requeued', 0)} requeued)")
     print("endpoints: POST /jobs | GET /jobs/<id> | GET /jobs/<id>/result | "
           "POST /jobs/<id>/cancel | GET /healthz | GET /stats")
     print("Ctrl-C stops the server gracefully")
@@ -570,6 +577,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker threads draining the job queue (default 2)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every HTTP request to stderr")
+    serve_parser.add_argument("--journal", type=str, default=None, metavar="PATH",
+                              help="append-only job journal at PATH; a restarted "
+                                   "server on the same journal re-serves finished "
+                                   "jobs and re-enqueues in-flight ones")
+    serve_parser.add_argument("--max-queue", type=int, default=None, metavar="N",
+                              help="backpressure bound on queued jobs: submissions "
+                                   "beyond N get HTTP 503 + Retry-After "
+                                   "(default: unbounded)")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-job wall-clock budget; a timed-out job is "
+                                   "retried, then failed (default: unlimited)")
+    serve_parser.add_argument("--task-retries", type=int, default=0, metavar="N",
+                              help="retry budget for retryable job failures — "
+                                   "timeouts, transient IO, dead worker processes "
+                                   "(default 0: fail on the first error)")
     _add_backend_arguments(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 

@@ -79,3 +79,17 @@ class ServiceTimeout(ServiceError):
     The job keeps running on the server; re-submitting the same request later
     coalesces onto it (or hits the finished artifact) rather than recomputing.
     """
+
+
+class ServiceUnavailable(ServiceError):
+    """Raised when the job queue rejects a submission under backpressure.
+
+    The server maps this to HTTP 503 with a ``Retry-After`` header;
+    :attr:`retry_after` is the suggested delay in seconds.  The request was
+    *not* enqueued — re-submitting later is safe (content addressing makes the
+    retry coalesce or hit the store if someone else got through meanwhile).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

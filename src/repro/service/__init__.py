@@ -11,25 +11,33 @@ computed before is answered from the warm store without executing at all.
   (never pickle), and the request → content-key mapping shared with
   :mod:`repro.store`;
 * :mod:`repro.service.jobs` — :class:`Job` and the thread-safe coalescing
-  :class:`JobQueue` (states ``queued → running → done | failed``,
-  ``cancelled`` from ``queued`` only; hit/coalesce/failure counters);
+  :class:`JobQueue` (states ``queued → running → done | failed``, bounded
+  retry with backoff, backpressure, cooperative cancellation; hit/coalesce/
+  failure/recovery counters);
+* :mod:`repro.service.journal` — :class:`JobJournal`, the append-only JSONL
+  persistence that makes a restarted server re-serve finished job ids and
+  re-enqueue in-flight ones (``--journal``);
 * :mod:`repro.service.workers` — the :class:`WorkerPool` draining the queue
   through ``repro.api`` executors and the shared
-  :class:`~repro.store.ArtifactStore`; worker exceptions fail the one job,
-  never the server;
+  :class:`~repro.store.ArtifactStore`, supervising each job (wall-clock
+  timeouts, retry classification, cancel checks); worker exceptions fail the
+  one job, never the server;
 * :mod:`repro.service.server` — :class:`JobServer`, the stdlib
   ``ThreadingHTTPServer`` front end (submit / status / result / cancel /
-  healthz / stats);
+  healthz / stats; 503 + ``Retry-After`` under backpressure, SIGTERM ==
+  SIGINT graceful shutdown);
 * :mod:`repro.service.client` — :class:`ServiceClient`, the thin polling
-  submitter (``submit_and_wait``, timeouts, bounded retry with backoff).
+  submitter (``submit_and_wait``, timeouts, bounded retry with backoff on
+  transport errors *and* HTTP 5xx, honouring ``Retry-After``).
 
 The CLI wires these up as ``repro-eba serve`` and ``repro-eba submit``; see
-docs/architecture.md ("The service layer") for the endpoint table and job
-lifecycle.
+docs/architecture.md ("The service layer" and "Failure handling & recovery")
+for the endpoint table, job lifecycle, and retry/degradation matrix.
 """
 
 from .client import ServiceClient
 from .jobs import Job, JobQueue
+from .journal import JobJournal
 from .server import DEFAULT_PORT, JobServer
 from .wire import (
     JobRequest,
@@ -47,11 +55,13 @@ from .wire import (
     sweep_request,
     theorem_request,
 )
-from .workers import WorkerPool, probe_warm
+from .workers import JobCancelled, WorkerPool, probe_warm
 
 __all__ = [
     "DEFAULT_PORT",
     "Job",
+    "JobCancelled",
+    "JobJournal",
     "JobQueue",
     "JobRequest",
     "JobServer",

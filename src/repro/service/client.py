@@ -4,15 +4,20 @@ Stdlib :mod:`urllib` only.  The client speaks the wire format of
 :mod:`repro.service.wire` and the endpoints of
 :mod:`repro.service.server`; its one piece of real logic is
 :meth:`ServiceClient.submit_and_wait` — synchronous polling with a deadline —
-plus bounded retry with exponential backoff on *transport* failures
-(connection refused/reset, which happen routinely while a server is still
-binding).  Retrying a submit is safe by construction: requests are content
-addressed, so a duplicate submission coalesces onto the first instead of
-recomputing.
+plus bounded retry with exponential backoff on failures that are plausibly
+transient:
 
-HTTP-level errors are never retried — a 400 is malformed forever, a 500
-carries the worker traceback — and surface as
-:class:`~repro.core.errors.ServiceError`.
+* **transport errors** (connection refused/reset, socket timeouts), which
+  happen routinely while a server is still binding or restarting;
+* **HTTP 5xx**, including 503 backpressure rejections, whose ``Retry-After``
+  header (when present) replaces the backoff delay.  Retrying a submit is
+  safe by construction: requests are content addressed, so a duplicate
+  submission coalesces onto the first instead of recomputing.
+
+HTTP 4xx is **never** retried — a 400 is malformed forever, a 404 names a job
+the server does not know — and surfaces as
+:class:`~repro.core.errors.ServiceError`, as does a 5xx that survives the
+retry budget.
 """
 
 from __future__ import annotations
@@ -26,6 +31,21 @@ from typing import Optional
 from ..core.errors import ServiceError, ServiceTimeout
 from .jobs import CANCELLED, DONE, FAILED, TERMINAL_STATES
 
+#: Never sleep longer than this on a server-provided Retry-After, however
+#: confused the server: the client's own deadline handling should stay live.
+MAX_RETRY_AFTER = 30.0
+
+
+def _retry_after_seconds(exc: urllib.error.HTTPError) -> Optional[float]:
+    """The parsed ``Retry-After`` delay of a response, clamped sane."""
+    raw = exc.headers.get("Retry-After") if exc.headers is not None else None
+    if raw is None:
+        return None
+    try:
+        return max(0.0, min(float(raw), MAX_RETRY_AFTER))
+    except ValueError:
+        return None
+
 
 class ServiceClient:
     """A client for one job server.
@@ -37,9 +57,10 @@ class ServiceClient:
     timeout:
         Per-HTTP-request socket timeout, seconds.
     retries:
-        How many times a *transport*-failed request is retried.
+        How many times a transport-failed or 5xx-failed request is retried.
     backoff:
         First retry delay, seconds; doubles per attempt (0.2 → 0.4 → 0.8 …).
+        A 503's ``Retry-After`` header overrides the delay for that attempt.
     """
 
     def __init__(self, base_url: str, timeout: float = 10.0,
@@ -57,8 +78,10 @@ class ServiceClient:
                  expect_errors: bool = False) -> dict:
         """One HTTP round trip, JSON in / JSON out, with bounded retry.
 
-        ``expect_errors`` returns the decoded payload even on 4xx/5xx (status
-        polling wants the body of a 409/500, not an exception).
+        ``expect_errors`` returns the decoded payload even on 4xx/5xx without
+        retrying (status polling wants the body of a 409/500, not an
+        exception — and a 500 carrying a failed job's traceback is an answer,
+        not an outage).
         """
         data = json.dumps(body).encode("utf-8") if body is not None else None
         delay = self.backoff
@@ -71,13 +94,23 @@ class ServiceClient:
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
-                # The server answered: no retry. Decode its JSON error body.
                 payload = self._decode_error(exc)
                 if expect_errors:
                     return payload
                 message = payload.get("error") or payload.get("state") or str(exc)
-                raise ServiceError(
-                    f"{method} {path} failed with HTTP {exc.code}: {message}") from exc
+                error = ServiceError(
+                    f"{method} {path} failed with HTTP {exc.code}: {message}")
+                error.__cause__ = exc
+                if exc.code < 500 or attempt >= self.retries:
+                    # 4xx is deterministic — retrying a malformed request can
+                    # only waste the server's time.  5xx raises once the
+                    # budget is spent.
+                    raise error
+                pause = _retry_after_seconds(exc)
+                if pause is None:
+                    pause = delay
+                    delay *= 2
+                time.sleep(pause)
             except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
                 last_error = exc
                 if attempt < self.retries:
@@ -104,7 +137,11 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def submit(self, request: dict) -> dict:
-        """``POST /jobs``; returns the receipt ``{"job", "state", "coalesced", "hit"}``."""
+        """``POST /jobs``; returns the receipt ``{"job", "state", "coalesced", "hit"}``.
+
+        Submits are idempotent (content addressing), so 5xx/503 responses are
+        retried like transport errors, honouring ``Retry-After`` on 503.
+        """
         return self._request("POST", "/jobs", body=request)
 
     def status(self, job_id: str) -> dict:
@@ -116,6 +153,12 @@ class ServiceClient:
         return answer["result"]
 
     def cancel(self, job_id: str) -> dict:
+        """``POST /jobs/<id>/cancel``; returns the job's (possibly new) state.
+
+        A queued job cancels immediately; a running one cooperatively — the
+        response still says ``running`` (with ``cancel_requested``) until the
+        worker reaches its next chunk boundary and confirms.
+        """
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
     # ------------------------------------------------------------------ the workflow

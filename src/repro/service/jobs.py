@@ -17,21 +17,40 @@ identical load:
   the traceback) and the server keeps serving; clients see the error when
   they poll.  Re-submitting a failed key starts a fresh attempt.
 
-States move ``queued → running → done | failed``; ``cancelled`` is reachable
-only from ``queued`` (a running computation is not interrupted — its result
-would land in the store anyway).  All transitions happen under one lock, and
-``next_job`` blocks on the matching condition, so the queue is safe for any
-number of HTTP handler threads and worker threads.
+Since the crash-safety work the queue also carries the *supervision* state:
+
+* **Bounded retry with exponential backoff** — a worker reporting a
+  *retryable* failure (transient IO, a broken process pool, a wall-clock
+  timeout) re-enqueues the job with delay ``retry_backoff * 2**(attempt-1)``
+  until ``max_retries`` attempts are exhausted, then the job fails for good.
+* **Backpressure** — with ``max_queue`` set, a submission that would push the
+  pending depth past the bound raises
+  :class:`~repro.core.errors.ServiceUnavailable` (the server maps it to HTTP
+  503 + ``Retry-After``) instead of letting the queue grow without bound.
+* **Cooperative cancellation of running jobs** — cancelling a running job
+  sets :attr:`Job.cancel_requested`; the executing worker checks the flag
+  between sweep chunks and confirms the cancellation (see
+  :mod:`repro.service.workers`).
+* **Journaling** — with a :class:`~repro.service.journal.JobJournal`
+  attached, every transition is appended (and flushed) under the queue lock,
+  so a killed server recovers its job table on restart.
+
+States move ``queued → running → done | failed`` (with ``running → queued``
+on a retryable failure); ``cancelled`` is reachable from ``queued``
+immediately and from ``running`` cooperatively.  All transitions happen under
+one lock, and ``next_job`` blocks on the matching condition, so the queue is
+safe for any number of HTTP handler threads and worker threads.
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
-from ..core.errors import ServiceError
+from ..core.errors import ServiceError, ServiceUnavailable
 from .wire import JobRequest
 
 #: The job lifecycle states.
@@ -62,6 +81,13 @@ class Job:
         self.error: Optional[str] = None
         #: How many submissions this job absorbed (1 = never coalesced).
         self.submissions = 1
+        #: How many times a worker has picked this job up.
+        self.attempts = 0
+        #: Cooperative-cancel flag: set by :meth:`JobQueue.cancel` on a
+        #: running job; the worker's chunk-boundary checks confirm it.
+        self.cancel_requested = False
+        #: Whether this job was rebuilt from the journal at startup.
+        self.recovered = False
 
     @property
     def key(self) -> str:
@@ -73,6 +99,16 @@ class Job:
         if self.started_at is None or self.finished_at is None:
             return None
         return self.finished_at - self.started_at
+
+    def mark_recovered(self, state: str, result: Optional[dict] = None,
+                       error: Optional[str] = None) -> None:
+        """Put a journal-replayed job directly into its terminal state."""
+        assert state in TERMINAL_STATES
+        self.state = state
+        self.result = result
+        self.error = error
+        self.finished_at = self.submitted_at
+        self.recovered = True
 
     def describe(self) -> dict:
         """The JSON-safe status view (``GET /jobs/<id>``)."""
@@ -86,6 +122,12 @@ class Job:
             info["wall_time"] = round(self.wall_time, 6)
         if self.error is not None:
             info["error"] = self.error
+        if self.attempts > 1:
+            info["attempts"] = self.attempts
+        if self.cancel_requested and self.state not in TERMINAL_STATES:
+            info["cancel_requested"] = True
+        if self.recovered:
+            info["recovered"] = True
         return info
 
 
@@ -94,17 +136,49 @@ class JobQueue:
 
     The queue owns every job the server has seen (``_jobs`` maps key → job,
     including finished ones, so late polls still resolve); ``_pending`` holds
-    the keys awaiting a worker.  One lock guards everything — operations are
-    dictionary-sized, so a single lock is simpler and plenty fast next to
-    simulations that run for milliseconds to minutes.
+    the keys awaiting a worker and ``_delayed`` the backoff-scheduled retries.
+    One lock guards everything — operations are dictionary-sized, so a single
+    lock is simpler and plenty fast next to simulations that run for
+    milliseconds to minutes.
+
+    Parameters
+    ----------
+    max_queue:
+        Backpressure bound on the pending depth (queued + delayed retries);
+        ``None`` = unbounded.  Exceeding it raises
+        :class:`~repro.core.errors.ServiceUnavailable` at submit time.
+    max_retries:
+        How many times a retryable failure re-enqueues a job before it fails
+        for good (0 = fail on the first error, the pre-journal behaviour).
+    retry_backoff:
+        First retry delay in seconds; doubles per attempt.
+    retry_after:
+        The ``Retry-After`` hint (seconds) carried by backpressure rejections.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_queue: Optional[int] = None, max_retries: int = 0,
+                 retry_backoff: float = 0.5, retry_after: float = 1.0) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ServiceError(f"max_queue must be >= 1, got {max_queue}")
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be non-negative, got {max_retries}")
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
         self._pending: Deque[str] = deque()
+        self._delayed: List[Tuple[float, int, str]] = []  # (ready_at, seq, key)
+        self._delay_seq = 0
         self._stopped = False
+        self.max_queue = max_queue
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retry_after = retry_after
+        #: Optional :class:`~repro.service.journal.JobJournal`; transitions are
+        #: appended under the queue lock once attached.
+        self.journal = None
+        #: Journal-recovery counts (set by ``JobJournal.recover_into``).
+        self.recovered: Dict[str, int] = {"done": 0, "failed": 0,
+                                          "requeued": 0, "dropped": 0}
         # -- counters (reported by /stats) ----------------------------------
         self.submitted = 0    # every submission, coalesced or not
         self.coalesced = 0    # submissions absorbed by a live (queued/running) job
@@ -112,6 +186,17 @@ class JobQueue:
         self.executed = 0     # jobs a worker actually computed to completion
         self.failed = 0
         self.cancelled = 0
+        self.retries = 0      # retryable failures that re-enqueued a job
+        self.timeouts = 0     # wall-clock timeouts (a subset of retries/failed)
+        self.rejected = 0     # submissions refused under backpressure
+
+    # ------------------------------------------------------------------ journal
+
+    def _record(self, event: str, job: Job, **fields: object) -> None:
+        """Append a journal event (no-op without a journal).  Caller holds
+        the lock, so journal order always matches transition order."""
+        if self.journal is not None:
+            self.journal.record(event, job.key, **fields)
 
     # ------------------------------------------------------------------ submit
 
@@ -127,6 +212,10 @@ class JobQueue:
         submission.  A finished job also absorbs it — ``done`` re-serves the
         retained payload (counted as a hit: the result already exists), while
         ``failed``/``cancelled`` re-enqueue a fresh attempt under the same key.
+
+        Raises :class:`~repro.core.errors.ServiceUnavailable` (without
+        enqueueing) when ``max_queue`` is set and the pending depth is at the
+        bound.
         """
         with self._lock:
             self.submitted += 1
@@ -141,6 +230,15 @@ class JobQueue:
                     self.store_hits += 1
                     return job, False
                 # failed / cancelled: fall through to a fresh attempt.
+            if warm_result is None and self.max_queue is not None:
+                depth = len(self._pending) + len(self._delayed)
+                if depth >= self.max_queue:
+                    self.submitted -= 1  # never admitted
+                    self.rejected += 1
+                    raise ServiceUnavailable(
+                        f"job queue is full ({depth} pending >= max_queue="
+                        f"{self.max_queue}); retry in {self.retry_after:g}s",
+                        retry_after=self.retry_after)
             job = Job(request)
             self._jobs[request.key] = job
             if warm_result is not None:
@@ -148,10 +246,18 @@ class JobQueue:
                 job.started_at = job.finished_at = time.time()
                 job.result = warm_result
                 self.store_hits += 1
+                self._record("submit", job, kind=request.kind, body=request.body)
+                self._record("done", job, result=warm_result)
                 return job, False
             self._pending.append(request.key)
+            self._record("submit", job, kind=request.kind, body=request.body)
             self._ready.notify()
             return job, False
+
+    def adopt(self, job: Job) -> None:
+        """Install a journal-recovered terminal job into the table verbatim."""
+        with self._lock:
+            self._jobs[job.key] = job
 
     # ------------------------------------------------------------------ lookup
 
@@ -164,7 +270,14 @@ class JobQueue:
         return job
 
     def cancel(self, key: str) -> Job:
-        """Cancel a queued job (running and finished jobs are left alone)."""
+        """Cancel a job: queued jobs immediately, running jobs cooperatively.
+
+        A queued job moves straight to ``cancelled``.  A running job gets
+        :attr:`Job.cancel_requested` set — the worker observes the flag at its
+        next chunk boundary and confirms via :meth:`mark_cancelled`; until
+        then the state stays ``running`` (with ``cancel_requested`` visible in
+        the status view).  Finished jobs are left alone.
+        """
         with self._lock:
             job = self._jobs.get(key)
             if job is None:
@@ -173,43 +286,137 @@ class JobQueue:
                 job.state = CANCELLED
                 job.finished_at = time.time()
                 self.cancelled += 1
+                self._record("cancelled", job)
+            elif job.state == RUNNING:
+                job.cancel_requested = True
             return job
 
     # ------------------------------------------------------------------ worker side
 
+    def _promote_due_locked(self) -> None:
+        """Move backoff-expired retries from the delay heap to the FIFO."""
+        now = time.monotonic()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, key = heapq.heappop(self._delayed)
+            self._pending.append(key)
+
     def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
         """Block until a job is available (skipping cancelled ones) or the
         queue stops; returns the job already moved to ``running``, or ``None``."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while True:
+                self._promote_due_locked()
                 while self._pending:
                     key = self._pending.popleft()
                     job = self._jobs[key]
                     if job.state != QUEUED:  # cancelled while waiting
                         continue
                     job.state = RUNNING
+                    job.attempts += 1
                     job.started_at = time.time()
+                    self._record("running", job)
                     return job
                 if self._stopped:
                     return None
-                if not self._ready.wait(timeout=timeout):
-                    return None
+                wait = None
+                if self._delayed:
+                    wait = max(0.0, self._delayed[0][0] - time.monotonic())
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._ready.wait(timeout=wait)
 
-    def finish(self, job: Job, result: dict) -> None:
-        """Mark a running job done with its rendered payload."""
+    def _is_current(self, job: Job, attempt: Optional[int]) -> bool:
+        """Whether a worker outcome still applies: the job is running and the
+        report comes from its latest attempt.  An abandoned (timed-out)
+        execution thread finishing late fails both tests and is ignored."""
+        if job.state != RUNNING:
+            return False
+        return attempt is None or attempt == job.attempts
+
+    def finish(self, job: Job, result: dict,
+               attempt: Optional[int] = None) -> None:
+        """Mark a running job done with its rendered payload.
+
+        ``attempt`` is the attempt token the worker captured at pickup;
+        a stale token (the job timed out and was retried meanwhile) makes the
+        call a no-op.
+        """
         with self._lock:
+            if not self._is_current(job, attempt):
+                return
             job.result = result
+            job.error = None
             job.state = DONE
             job.finished_at = time.time()
             self.executed += 1
+            self._record("done", job, result=result)
 
-    def fail(self, job: Job, error: str) -> None:
+    def fail(self, job: Job, error: str, attempt: Optional[int] = None) -> None:
         """Mark a running job failed; the queue (and server) keep going."""
         with self._lock:
-            job.error = error
-            job.state = FAILED
-            job.finished_at = time.time()
-            self.failed += 1
+            self._fail_locked(job, error, attempt)
+
+    def _fail_locked(self, job: Job, error: str, attempt: Optional[int]) -> None:
+        if not self._is_current(job, attempt):
+            return
+        job.error = error
+        job.state = FAILED
+        job.finished_at = time.time()
+        self.failed += 1
+        self._record("failed", job, error=error)
+
+    def retry_or_fail(self, job: Job, error: str, retryable: bool,
+                      attempt: Optional[int] = None,
+                      timed_out: bool = False) -> str:
+        """Handle a worker-reported failure: re-enqueue with backoff or fail.
+
+        A retryable error re-enqueues the job (state back to ``queued``) after
+        ``retry_backoff * 2**(attempt-1)`` seconds while attempts remain;
+        anything else — or an exhausted retry budget — fails the job for good.
+        Returns the resulting state.
+        """
+        with self._lock:
+            if not self._is_current(job, attempt):
+                return job.state
+            if timed_out:
+                self.timeouts += 1
+            if job.cancel_requested:
+                # The client asked to cancel; a failure on the way out is a
+                # cancellation, not something worth retrying.
+                self._mark_cancelled_locked(job)
+                return job.state
+            if retryable and job.attempts <= self.max_retries:
+                job.state = QUEUED
+                job.started_at = None
+                job.error = error
+                delay = self.retry_backoff * (2 ** (job.attempts - 1))
+                self.retries += 1
+                self._delay_seq += 1
+                heapq.heappush(self._delayed,
+                               (time.monotonic() + delay, self._delay_seq,
+                                job.key))
+                self._record("retry", job, error=error)
+                self._ready.notify()  # recompute wait deadlines
+            else:
+                self._fail_locked(job, error, attempt)
+            return job.state
+
+    def mark_cancelled(self, job: Job, attempt: Optional[int] = None) -> None:
+        """Confirm a cooperative cancellation observed by the worker."""
+        with self._lock:
+            if not self._is_current(job, attempt):
+                return
+            self._mark_cancelled_locked(job)
+
+    def _mark_cancelled_locked(self, job: Job) -> None:
+        job.state = CANCELLED
+        job.finished_at = time.time()
+        self.cancelled += 1
+        self._record("cancelled", job)
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -221,11 +428,16 @@ class JobQueue:
 
     # ------------------------------------------------------------------ stats
 
+    def jobs_snapshot(self) -> List[Job]:
+        """The job table, copied under the lock (journal compaction input)."""
+        with self._lock:
+            return list(self._jobs.values())
+
     def stats(self) -> dict:
         """The queue's JSON-safe counters and per-job wall times (``/stats``)."""
         with self._lock:
             jobs: List[dict] = []
-            queue_depth = 0
+            queue_depth = 0  # QUEUED jobs, whether in the FIFO or delay heap
             in_flight = 0
             for job in self._jobs.values():
                 if job.state == QUEUED:
@@ -236,6 +448,8 @@ class JobQueue:
                          "state": job.state, "submissions": job.submissions}
                 if job.wall_time is not None:
                     entry["wall_time"] = round(job.wall_time, 6)
+                if job.attempts > 1:
+                    entry["attempts"] = job.attempts
                 jobs.append(entry)
             return {
                 "queue_depth": queue_depth,
@@ -246,6 +460,10 @@ class JobQueue:
                 "executed": self.executed,
                 "failed": self.failed,
                 "cancelled": self.cancelled,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "rejected": self.rejected,
+                "recovered": dict(self.recovered),
                 "jobs": jobs,
             }
 

@@ -1,0 +1,238 @@
+"""The persistent job journal (``repro-eba serve --journal``).
+
+An append-only JSONL file recording every job-lifecycle transition, keyed by
+the job's **content request key** — the same identity the queue, the store,
+and the wire format share.  It is what makes the server *crash-safe*: a
+restarted ``repro-eba serve`` pointed at the same journal path
+
+* re-serves every ``done`` job with its journaled payload (byte-identical,
+  zero recomputation — the payload travelled through the journal, not the
+  worker),
+* re-serves ``failed``/``cancelled`` job ids with their recorded outcome, and
+* **re-enqueues** every job that was queued or running at crash time, decoding
+  the journaled request body through the ordinary wire path.
+
+The format is one JSON object per line::
+
+    {"event": "submit",    "job": <key>, "kind": ..., "body": {...}}
+    {"event": "running",   "job": <key>}
+    {"event": "retry",     "job": <key>, "error": ...}
+    {"event": "done",      "job": <key>, "result": {...}}
+    {"event": "failed",    "job": <key>, "error": ...}
+    {"event": "cancelled", "job": <key>}
+
+Replay folds lines left to right, so the *last* event per key wins.  A torn
+final line — the signature of a crash mid-append — is detected and skipped
+(counted in :attr:`JobJournal.torn_lines`), as is any line that fails to
+parse: a damaged journal degrades to partial recovery, never to a crash.
+After recovery the journal is **compacted** — rewritten (atomically, via a
+temp file + ``os.replace``) with one ``submit`` line per surviving job plus
+its terminal event — so the file stays proportional to the job table rather
+than to server uptime.
+
+Every append is flushed before the queue lock is released, so the journal
+survives ``kill -9`` of the server process (the bytes are in the page cache;
+only a whole-machine crash could lose the tail, and then replay's torn-line
+tolerance bounds the damage to the final record).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .jobs import JobQueue
+
+#: Events whose presence makes a job terminal at replay time.
+_TERMINAL_EVENTS = ("done", "failed", "cancelled")
+
+
+class JobJournal:
+    """Append-only JSONL persistence for the job queue.
+
+    Parameters
+    ----------
+    path:
+        The journal file; created (with parents) on first append.  One journal
+        belongs to one server — concurrent writers are not supported (the
+        queue serialises appends under its own lock anyway).
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path).expanduser()
+        self._lock = threading.Lock()
+        self._handle = None
+        #: Unparseable lines skipped by the last :meth:`replay` (a torn final
+        #: write counts here); reported by ``/stats``.
+        self.torn_lines = 0
+
+    # ------------------------------------------------------------------ append
+
+    def record(self, event: str, key: str, **fields: object) -> None:
+        """Append one event line and flush it to the OS.
+
+        ``fields`` are extra JSON-safe attributes (``kind``/``body`` for
+        submissions, ``result`` for completions, ``error`` for failures).
+        """
+        entry = {"event": event, "job": key}
+        entry.update({name: value for name, value in fields.items()
+                      if value is not None})
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # ------------------------------------------------------------------ replay
+
+    def replay(self) -> Dict[str, dict]:
+        """Fold the journal into ``{key: last-known record}``.
+
+        Each record is ``{"state": <event>, "kind", "body", "result",
+        "error"}`` with fields accumulated across the key's lines (a ``done``
+        line only carries the result; the body came from its ``submit`` line).
+        Unparseable lines — including a torn final write — are skipped and
+        counted in :attr:`torn_lines`.
+        """
+        records: Dict[str, dict] = {}
+        self.torn_lines = 0
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return records
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+                event = entry["event"]
+                key = entry["job"]
+            except Exception:
+                self.torn_lines += 1
+                continue
+            record = records.setdefault(key, {"state": None})
+            record["state"] = event
+            for field in ("kind", "body", "result", "error"):
+                if field in entry:
+                    record[field] = entry[field]
+        return records
+
+    def recover_into(self, queue: "JobQueue") -> Dict[str, int]:
+        """Rebuild a (fresh) queue's job table from the journal.
+
+        Terminal jobs are recreated in their terminal state — ``done`` with
+        the journaled payload, so re-submissions and result fetches are served
+        without recomputation.  Non-terminal jobs (queued / running / retrying
+        at crash time) are re-decoded from their journaled body and enqueued
+        for a fresh attempt.  Returns (and stores on the queue, for
+        ``/stats``) the recovery counts; call *before* attaching this journal
+        to the queue so replay does not re-journal itself.
+        """
+        from .jobs import Job
+        from .wire import JobRequest, decode_request
+
+        counts = {"done": 0, "failed": 0, "requeued": 0, "dropped": 0}
+        for key, record in self.replay().items():
+            state = record.get("state")
+            if state in _TERMINAL_EVENTS:
+                request = JobRequest(kind=record.get("kind", "unknown"),
+                                     spec=None, key=key,
+                                     body=record.get("body"))
+                job = Job(request)
+                if state == "done" and record.get("result") is not None:
+                    job.mark_recovered("done", result=record["result"])
+                    counts["done"] += 1
+                elif state == "failed":
+                    job.mark_recovered("failed", error=record.get(
+                        "error", "failed before the last server restart"))
+                    counts["failed"] += 1
+                elif state == "cancelled":
+                    job.mark_recovered("cancelled")
+                else:  # a done line with no payload: nothing to re-serve
+                    counts["dropped"] += 1
+                    continue
+                queue.adopt(job)
+            else:
+                body = record.get("body")
+                if body is None:
+                    counts["dropped"] += 1
+                    continue
+                try:
+                    request = decode_request(body)
+                except Exception:
+                    # The journaled body no longer decodes (library changed
+                    # between restarts, say): drop it rather than crash the
+                    # whole recovery.
+                    counts["dropped"] += 1
+                    continue
+                queue.submit(request)
+                counts["requeued"] += 1
+        queue.recovered = dict(counts)
+        return counts
+
+    # ------------------------------------------------------------------ compaction
+
+    def compact(self, queue: "JobQueue") -> None:
+        """Atomically rewrite the journal from the queue's current job table.
+
+        One ``submit`` line per job (with its body, so a later recovery can
+        re-enqueue it) plus the terminal event for finished ones.  Called
+        after recovery so the file carries state, not history.
+        """
+        from .jobs import CANCELLED, DONE, FAILED
+
+        lines = []
+        for job in queue.jobs_snapshot():
+            entry = {"event": "submit", "job": job.key,
+                     "kind": job.request.kind}
+            if job.request.body is not None:
+                entry["body"] = job.request.body
+            lines.append(json.dumps(entry, sort_keys=True))
+            if job.state == DONE and job.result is not None:
+                lines.append(json.dumps(
+                    {"event": "done", "job": job.key, "result": job.result},
+                    sort_keys=True))
+            elif job.state == FAILED:
+                lines.append(json.dumps(
+                    {"event": "failed", "job": job.key, "error": job.error},
+                    sort_keys=True))
+            elif job.state == CANCELLED:
+                lines.append(json.dumps(
+                    {"event": "cancelled", "job": job.key}, sort_keys=True))
+        payload = ("\n".join(lines) + "\n") if lines else ""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.path.parent,
+                                            prefix=".journal-")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, self.path)
+            except OSError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobJournal({str(self.path)!r})"
+
+
+__all__ = ["JobJournal"]

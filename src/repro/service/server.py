@@ -11,33 +11,46 @@ endpoint                   meaning
 =========================  ==================================================
 ``POST /jobs``             submit a JSON request (run / sweep / theorem);
                            returns the job id (= content key), its state, and
-                           whether the submission coalesced or hit the store
+                           whether the submission coalesced or hit the store;
+                           503 + ``Retry-After`` when the queue is full
 ``GET  /jobs/<id>``        poll status
 ``GET  /jobs/<id>/result`` fetch the rendered payload (409 while pending,
                            500 + traceback if the job failed, 410 cancelled)
-``POST /jobs/<id>/cancel`` cancel a *queued* job (running jobs finish)
+``POST /jobs/<id>/cancel`` cancel a job — queued immediately, running
+                           cooperatively (the worker stops at its next chunk)
 ``GET  /healthz``          liveness probe
-``GET  /stats``            queue depth, in-flight, hit/coalesce counters,
-                           per-job wall times, and the artifact store's
+``GET  /stats``            queue depth, in-flight, hit/coalesce/retry/
+                           recovery counters, per-job wall times, journal
+                           info, and the artifact store's
                            ``cache stats --json`` payload
 =========================  ==================================================
+
+With ``journal=`` set, the server is **crash-safe**: every job transition is
+appended to an on-disk JSONL journal, and a restarted server pointed at the
+same path re-serves finished job ids (byte-identical payloads, zero
+recomputation) and re-enqueues whatever was queued or running at crash time
+(see :mod:`repro.service.journal`).
 
 Use :class:`JobServer` programmatically (it is a context manager and binds
 port 0 to a free port, which is what the tests do), or through the CLI::
 
-    repro-eba serve --port 8642 --workers 2 --cache
+    repro-eba serve --port 8642 --workers 2 --cache \
+        --journal ~/.cache/repro-eba/journal.jsonl \
+        --max-queue 256 --job-timeout 600 --task-retries 2
     repro-eba submit theorem --theorem 6.5 --n 3 --t 1 --wait
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from ..core.errors import ServiceError
+from ..core.errors import ServiceError, ServiceUnavailable
 from .jobs import CANCELLED, DONE, FAILED, JobQueue
+from .journal import JobJournal
 from .wire import decode_request
 from .workers import WorkerPool, probe_warm
 
@@ -54,11 +67,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -121,6 +137,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             try:
                 body = self._read_body()
                 receipt = service.submit(body)
+            except ServiceUnavailable as exc:
+                self._send_json(503, {"error": str(exc)},
+                                headers={"Retry-After": f"{exc.retry_after:g}"})
+                return
             except ServiceError as exc:
                 self._send_json(400, {"error": str(exc)})
                 return
@@ -160,16 +180,45 @@ class JobServer:
         Worker-thread count draining the queue.
     executor:
         Optional per-job :class:`~repro.api.executors.Executor`.
+    journal:
+        A :class:`~repro.service.journal.JobJournal` or a path to one;
+        enables crash-safe recovery (``None`` = in-memory job table only).
+    max_queue:
+        Backpressure bound on pending jobs (HTTP 503 + ``Retry-After`` when
+        full); ``None`` = unbounded.
+    job_timeout:
+        Per-job wall-clock budget in seconds (``None`` = unlimited).
+    task_retries:
+        Retry budget for retryable job failures (timeouts, transient IO,
+        broken process pools); 0 = fail on the first error.
+    retry_backoff:
+        First retry delay in seconds; doubles per attempt.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  store=None, workers: int = 2, executor=None,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 journal: "JobJournal | str | None" = None,
+                 max_queue: Optional[int] = None,
+                 job_timeout: Optional[float] = None,
+                 task_retries: int = 0,
+                 retry_backoff: float = 0.5) -> None:
         self.store = store
         self.verbose = verbose
-        self.queue = JobQueue()
+        self.queue = JobQueue(max_queue=max_queue, max_retries=task_retries,
+                              retry_backoff=retry_backoff)
+        self.journal: Optional[JobJournal] = None
+        if journal is not None:
+            self.journal = (journal if isinstance(journal, JobJournal)
+                            else JobJournal(journal))
+            # Replay *before* attaching, so recovery does not re-journal
+            # itself; compaction then rewrites the file from the rebuilt job
+            # table, bounding its size to state rather than history.
+            self.journal.recover_into(self.queue)
+            self.journal.compact(self.queue)
+            self.queue.journal = self.journal
         self.pool = WorkerPool(self.queue, store=store, executor=executor,
-                               workers=workers)
+                               workers=workers, job_timeout=job_timeout)
         self._httpd = _ServiceHTTPServer((host, port), _ServiceHandler)
         self._httpd.service = self
         self._serve_thread: Optional[threading.Thread] = None
@@ -182,6 +231,9 @@ class JobServer:
         The returned receipt is what ``POST /jobs`` sends back::
 
             {"job": <content key>, "state": ..., "coalesced": bool, "hit": bool}
+
+        Raises :class:`~repro.core.errors.ServiceUnavailable` (mapped to 503)
+        when the queue is at its backpressure bound.
         """
         request = decode_request(body)
         warm = probe_warm(request, self.store)
@@ -192,6 +244,11 @@ class JobServer:
     def describe_stats(self) -> dict:
         """The ``GET /stats`` payload: queue counters plus store stats."""
         payload = {"service": self.queue.stats(), "workers": self.pool.workers}
+        if self.journal is not None:
+            payload["journal"] = {"path": str(self.journal.path),
+                                  "torn_lines": self.journal.torn_lines}
+        else:
+            payload["journal"] = None
         if self.store is not None:
             payload["store"] = self.store.stats().as_dict()
         else:
@@ -226,23 +283,44 @@ class JobServer:
             self._serve_thread.join(timeout=10.0)
             self._serve_thread = None
         self.pool.stop()
+        if self.journal is not None:
+            self.journal.close()
 
     def serve_until_interrupt(self) -> None:
-        """Foreground serving loop for the CLI; SIGINT shuts down gracefully."""
+        """Foreground serving loop for the CLI.
+
+        Both SIGINT (Ctrl-C) and SIGTERM (``docker stop``, systemd, k8s) shut
+        down gracefully with exit code 0 — containerized deployments send
+        SIGTERM, and treating it differently from SIGINT would turn every
+        clean redeploy into a hard kill.
+        """
         self.pool.start()
+        previous_term = None
+        try:
+            previous_term = signal.signal(signal.SIGTERM, _raise_interrupt)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
         try:
             self._httpd.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            if previous_term is not None:
+                signal.signal(signal.SIGTERM, previous_term)
             self._httpd.server_close()
             self.pool.stop()
+            if self.journal is not None:
+                self.journal.close()
 
     def __enter__(self) -> "JobServer":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+def _raise_interrupt(signum, frame):  # pragma: no cover - exercised via subprocess
+    raise KeyboardInterrupt
 
 
 __all__ = ["DEFAULT_PORT", "JobServer"]

@@ -161,12 +161,16 @@ class JobRequest:
 
     ``key`` is the request's identity everywhere in the service — the job id,
     the coalescing rendezvous, and (for ``run``/``theorem`` requests) the
-    artifact-store key a warm store answers from.
+    artifact-store key a warm store answers from.  ``body`` retains the raw
+    JSON request object so the job journal can persist (and a restarted
+    server re-decode) the submission; recovered terminal jobs carry
+    ``spec=None`` — they are re-served, never re-executed.
     """
 
     kind: str
     spec: object
     key: str
+    body: Optional[dict] = None
 
 
 def _theorem_parts(check: TheoremCheck):
@@ -250,7 +254,8 @@ def decode_request(data: object) -> JobRequest:
     else:
         raise ServiceError(f"unknown request kind {kind!r}; one of {REQUEST_KINDS}")
     try:
-        return JobRequest(kind=kind, spec=spec, key=request_key(kind, spec))
+        return JobRequest(kind=kind, spec=spec, key=request_key(kind, spec),
+                          body=data)
     except ServiceError:
         raise
     except Exception as exc:

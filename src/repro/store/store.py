@@ -10,7 +10,11 @@
   checkpoint manifests).
 * **Corruption recovery** — a payload that fails to parse, decompress, or
   deserialize is *deleted and treated as a miss*, never raised: a damaged
-  cache degrades to recomputation, it cannot crash a pipeline.
+  cache degrades to recomputation, it cannot crash a pipeline.  Backend IO
+  errors (a full disk, revoked permissions, a flaky network mount) degrade
+  the same way: reads report misses, writes are skipped (the in-memory layer
+  still remembers the artifact), a one-time warning is emitted, and the
+  ``io_errors`` counter in :meth:`ArtifactStore.stats` records the damage.
 * **An in-memory LRU layer** — deserialized artifacts are kept in a small
   per-process LRU so repeated access within one process (e.g. the same built
   system consulted by several theorem checks) skips both disk and unpickling.
@@ -36,6 +40,7 @@ import json
 import os
 import pickle
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -73,6 +78,7 @@ class StoreStats:
     memory_hits: int = 0
     puts: int = 0
     corrupted: int = 0
+    io_errors: int = 0
 
     def describe(self) -> str:
         """A human-readable multi-line rendering (used by ``cache stats``)."""
@@ -87,6 +93,8 @@ class StoreStats:
         lines.append(f"session puts : {self.puts}")
         if self.corrupted:
             lines.append(f"corrupted    : {self.corrupted} (deleted, recomputed)")
+        if self.io_errors:
+            lines.append(f"io errors    : {self.io_errors} (degraded to uncached)")
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, object]:
@@ -104,6 +112,7 @@ class StoreStats:
                 "misses": self.misses,
                 "puts": self.puts,
                 "corrupted": self.corrupted,
+                "io_errors": self.io_errors,
             },
         }
 
@@ -197,6 +206,28 @@ class ArtifactStore:
         self._misses = 0
         self._puts = 0
         self._corrupted = 0
+        self._io_errors = 0
+        self._io_warned = False
+
+    def _backend_error(self, operation: str, exc: Exception) -> None:
+        """Record a backend IO failure; warn the first time only.
+
+        The cache is an accelerator, not a dependency: a backend that starts
+        raising (full disk, revoked permissions, flaky mount) must degrade
+        every operation to its uncached behaviour, not crash the pipeline.
+        One warning per store instance keeps a long sweep from drowning its
+        output in repeats; the ``io_errors`` counter keeps the full tally.
+        """
+        with self._lock:
+            self._io_errors += 1
+            if self._io_warned:
+                return
+            self._io_warned = True
+        warnings.warn(
+            f"artifact store backend failed during {operation} ({exc!r}); "
+            f"degrading to uncached computation (further backend errors "
+            f"counted silently — see cache stats)",
+            RuntimeWarning, stacklevel=3)
 
     # ------------------------------------------------------------------ get/put
 
@@ -215,7 +246,13 @@ class ArtifactStore:
                 self._hits += 1
                 self._memory_hits += 1
                 return self._memory[key]
-            payload = self.backend.get(key)
+            try:
+                payload = self.backend.get(key)
+            except Exception as exc:
+                # IO degradation: an unreadable backend is a miss, not a crash.
+                self._backend_error("get", exc)
+                self._misses += 1
+                return None
             if payload is None:
                 self._misses += 1
                 return None
@@ -224,7 +261,10 @@ class ArtifactStore:
             except Exception:
                 # Corruption recovery: drop the entry and report a miss so the
                 # caller recomputes; never propagate a damaged cache as an error.
-                self.backend.delete(key)
+                try:
+                    self.backend.delete(key)
+                except Exception as exc:
+                    self._backend_error("delete", exc)
                 self._corrupted += 1
                 self._misses += 1
                 return None
@@ -244,7 +284,15 @@ class ArtifactStore:
             raise StoreError(f"unknown serializer {serializer!r}; use one of {_SERIALIZERS}")
         payload = _encode(artifact, kind, serializer)
         with self._lock:
-            self.backend.put(key, payload)
+            try:
+                self.backend.put(key, payload)
+            except Exception as exc:
+                # IO degradation: skip the persistent write but keep the
+                # artifact in the memory layer, so this process still gets
+                # repeat-access sharing even with a dead disk.
+                self._backend_error("put", exc)
+                self._remember(key, artifact)
+                return
             self._puts += 1
             self._remember(key, artifact)
             if self.max_bytes is not None:
@@ -259,7 +307,13 @@ class ArtifactStore:
         """Whether the key is present — no payload read, no hit counted, and no
         recency update (so checkpoint scans cannot perturb LRU eviction)."""
         with self._lock:
-            return key in self._memory or self.backend.contains(key)
+            if key in self._memory:
+                return True
+            try:
+                return self.backend.contains(key)
+            except Exception as exc:
+                self._backend_error("contains", exc)
+                return False
 
     def _remember(self, key: str, artifact: object) -> None:
         if self.memory_entries <= 0:
@@ -272,8 +326,12 @@ class ArtifactStore:
     # ------------------------------------------------------------------ accounting
 
     def total_bytes(self) -> int:
-        """The backend footprint in bytes."""
-        return sum(entry.size for entry in self.backend.entries())
+        """The backend footprint in bytes (0 if the backend cannot be walked)."""
+        try:
+            return sum(entry.size for entry in self.backend.entries())
+        except Exception as exc:
+            self._backend_error("entries", exc)
+            return 0
 
     def evict_to(self, max_bytes: int, protect: Optional[str] = None) -> int:
         """Evict least-recently-used entries until the footprint is ≤ ``max_bytes``.
@@ -290,8 +348,12 @@ class ArtifactStore:
         same store state, same evictions, on every platform.
         """
         with self._lock:
-            entries = sorted(self.backend.entries(),
-                             key=lambda entry: (entry.last_used, entry.key))
+            try:
+                entries = sorted(self.backend.entries(),
+                                 key=lambda entry: (entry.last_used, entry.key))
+            except Exception as exc:
+                self._backend_error("entries", exc)
+                return 0
             total = sum(entry.size for entry in entries)
             evicted = 0
             for entry in entries:
@@ -299,7 +361,12 @@ class ArtifactStore:
                     break
                 if entry.key == protect:
                     continue
-                if self.backend.delete(entry.key):
+                try:
+                    deleted = self.backend.delete(entry.key)
+                except Exception as exc:
+                    self._backend_error("delete", exc)
+                    deleted = False
+                if deleted:
                     self._memory.pop(entry.key, None)
                     total -= entry.size
                     evicted += 1
@@ -310,9 +377,12 @@ class ArtifactStore:
         """Delete every entry (and the memory layer); returns the number deleted."""
         with self._lock:
             deleted = 0
-            for entry in list(self.backend.entries()):
-                if self.backend.delete(entry.key):
-                    deleted += 1
+            try:
+                for entry in list(self.backend.entries()):
+                    if self.backend.delete(entry.key):
+                        deleted += 1
+            except Exception as exc:
+                self._backend_error("clear", exc)
             self._memory.clear()
             self._size_estimate = 0
             return deleted
@@ -327,14 +397,23 @@ class ArtifactStore:
         with self._lock:
             stats = StoreStats(hits=self._hits, misses=self._misses,
                                memory_hits=self._memory_hits, puts=self._puts,
-                               corrupted=self._corrupted)
-        for entry in self.backend.entries():
-            stats.entries += 1
-            stats.total_bytes += entry.size
-            head = self.backend.peek(entry.key)
-            kind = _payload_kind(head) if head is not None else None
-            label = kind if kind is not None else "(unreadable)"
-            stats.by_kind[label] = stats.by_kind.get(label, 0) + 1
+                               corrupted=self._corrupted,
+                               io_errors=self._io_errors)
+        try:
+            for entry in self.backend.entries():
+                stats.entries += 1
+                stats.total_bytes += entry.size
+                try:
+                    head = self.backend.peek(entry.key)
+                except Exception as exc:
+                    self._backend_error("peek", exc)
+                    head = None
+                kind = _payload_kind(head) if head is not None else None
+                label = kind if kind is not None else "(unreadable)"
+                stats.by_kind[label] = stats.by_kind.get(label, 0) + 1
+        except Exception as exc:
+            self._backend_error("entries", exc)
+        stats.io_errors = self._io_errors  # include failures from this walk
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

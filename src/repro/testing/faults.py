@@ -1,0 +1,355 @@
+"""Deterministic fault injection for the crash-safety layer.
+
+Three families of faults, each matching one seam of the robustness design:
+
+* **Store faults** — :class:`FaultyBackend` wraps any
+  :class:`~repro.store.backends.StoreBackend` and makes chosen operations
+  raise :class:`InjectedFault` (an :class:`OSError`, so the service's retry
+  classifier treats it as transient), serve corrupted payloads, or stall —
+  on a programmable :class:`FaultPlan` schedule keyed by call count.
+* **Execution faults** — protocol wrappers that blow up *inside* the
+  simulation: :class:`CrashOnceProtocol` kills its process outright (the
+  ``BrokenProcessPool`` injector), :class:`FailOnceProtocol` raises a
+  retryable error, :class:`SlowProtocol` sleeps per action (the job-timeout
+  injector).  All coordinate through **sentinel files**, the only mutable
+  state that survives pickling into a pool worker and is shared across
+  processes — so "once" means once per sentinel path, not once per copy.
+* **Process faults** — :class:`ServerHarness` runs a real ``repro-eba
+  serve`` subprocess and can kill it (``SIGKILL`` by default: a crash, not
+  a shutdown) and start a successor on the same journal, which is exactly
+  the recovery scenario the journal exists for.
+
+Faults fire on exact call counts and sentinel existence, never randomness:
+a chaos test that fails once fails every time.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from ..core.types import Action
+from ..exchange.base import LocalState
+from ..protocols.pmin import MinProtocol
+from ..store.backends import StoreBackend, StoreEntry
+
+#: Exit code a :class:`CrashOnceProtocol` worker process dies with; chosen to
+#: be visibly not-a-signal and not-a-Python-traceback in pool diagnostics.
+CRASH_EXIT_CODE = 17
+
+
+class InjectedFault(OSError):
+    """The error a :class:`FaultyBackend` raises.
+
+    Subclasses :class:`OSError` deliberately: that is the realistic failure
+    class for storage IO, and it is what the service's
+    :data:`~repro.service.workers.RETRYABLE_EXCEPTIONS` classifies as worth
+    a retry — so injected store faults exercise the same paths real disk
+    trouble would.
+    """
+
+
+# ------------------------------------------------------------------ store faults
+
+_BACKEND_OPS = ("get", "put", "delete", "contains", "peek", "entries")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of backend misbehaviour.
+
+    Parameters
+    ----------
+    error_ops:
+        Operation names (of ``get``/``put``/``delete``/``contains``/``peek``/
+        ``entries``) that raise :class:`InjectedFault`.
+    fail_after:
+        How many calls to each affected operation succeed before failures
+        start (0 = fail from the first call).
+    fail_count:
+        How many calls fail before the operation recovers; ``None`` = fail
+        forever.  Counted per operation.
+    corrupt_gets:
+        How many ``get`` calls (after ``fail_after``) return a corrupted
+        payload instead of the stored bytes.  Corruption and ``error_ops``
+        containing ``"get"`` are mutually exclusive faults — pick one.
+    latency:
+        Seconds to sleep before every wrapped call (fault-free ones too);
+        models a slow disk or network mount.
+    """
+
+    error_ops: Tuple[str, ...] = ()
+    fail_after: int = 0
+    fail_count: Optional[int] = None
+    corrupt_gets: int = 0
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        unknown = [op for op in self.error_ops if op not in _BACKEND_OPS]
+        if unknown:
+            raise ValueError(f"unknown backend operation(s) {unknown}; "
+                             f"one of {_BACKEND_OPS}")
+        if self.corrupt_gets and "get" in self.error_ops:
+            raise ValueError("corrupt_gets and an erroring 'get' are exclusive")
+
+    def should_fail(self, op: str, call_index: int) -> bool:
+        """Whether the ``call_index``-th (0-based) call to ``op`` errors."""
+        if op not in self.error_ops or call_index < self.fail_after:
+            return False
+        if self.fail_count is None:
+            return True
+        return call_index < self.fail_after + self.fail_count
+
+    def should_corrupt(self, call_index: int) -> bool:
+        if not self.corrupt_gets or call_index < self.fail_after:
+            return False
+        return call_index < self.fail_after + self.corrupt_gets
+
+
+class FaultyBackend:
+    """A :class:`StoreBackend` wrapper executing a :class:`FaultPlan`.
+
+    Implements the full six-method backend protocol, delegating to ``inner``
+    except where the plan says otherwise.  Thread-safe: call counting is
+    locked, so concurrent service workers see one global schedule.  The
+    per-operation tallies (:attr:`calls`, :attr:`faults`) let tests assert
+    not just outcomes but *which* seams were exercised.
+    """
+
+    def __init__(self, inner: StoreBackend, plan: Optional[FaultPlan] = None) -> None:
+        self.inner = inner
+        self.plan = plan if plan is not None else FaultPlan()
+        self.calls: Dict[str, int] = {op: 0 for op in _BACKEND_OPS}
+        self.faults: Dict[str, int] = {op: 0 for op in _BACKEND_OPS}
+        self._lock = threading.Lock()
+
+    def _enter(self, op: str) -> int:
+        """Count the call; raise if the plan says this one fails."""
+        if self.plan.latency:
+            time.sleep(self.plan.latency)
+        with self._lock:
+            index = self.calls[op]
+            self.calls[op] += 1
+            if self.plan.should_fail(op, index):
+                self.faults[op] += 1
+                raise InjectedFault(f"injected {op} fault (call #{index})")
+            return index
+
+    # -- the backend protocol ---------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        index = self._enter("get")
+        payload = self.inner.get(key)
+        if payload is not None and self.plan.should_corrupt(index):
+            with self._lock:
+                self.faults["get"] += 1
+            # Valid length, garbage content: the decoder must reject it.
+            return b"\x00CORRUPT\x00" + payload[9:]
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        self._enter("put")
+        self.inner.put(key, payload)
+
+    def delete(self, key: str) -> bool:
+        self._enter("delete")
+        return self.inner.delete(key)
+
+    def contains(self, key: str) -> bool:
+        self._enter("contains")
+        return self.inner.contains(key)
+
+    def peek(self, key: str, size: int = 256) -> Optional[bytes]:
+        self._enter("peek")
+        return self.inner.peek(key, size)
+
+    def entries(self) -> Iterator[StoreEntry]:
+        self._enter("entries")
+        return self.inner.entries()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultyBackend({self.inner!r}, plan={self.plan!r})"
+
+
+# ------------------------------------------------------------------ execution faults
+
+class CrashOnceProtocol(MinProtocol):
+    """A ``P_min`` whose first executing process dies hard, mid-simulation.
+
+    The first :meth:`act` call to win the sentinel-file race calls
+    :func:`os._exit` — no exception, no cleanup, the worker process is simply
+    gone, which is what breaks a :class:`concurrent.futures.ProcessPoolExecutor`
+    (``BrokenProcessPool``).  Every later process (including the rebuilt
+    pool's workers, and the in-process serial path) behaves exactly like
+    ``P_min``, so the retried computation's results are the honest ones.
+
+    Picklable by construction: its state is ``t`` plus the sentinel *path*.
+    ``O_CREAT | O_EXCL`` makes the race atomic across processes.
+    """
+
+    name = "P_min"  # deliberately: results must be byte-identical to P_min's
+
+    def __init__(self, t: int, sentinel: "str | Path") -> None:
+        super().__init__(t)
+        self.sentinel = str(sentinel)
+
+    def act(self, state: LocalState) -> Action:
+        try:
+            fd = os.open(self.sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os._exit(CRASH_EXIT_CODE)
+        return super().act(state)
+
+
+class FailOnceProtocol(MinProtocol):
+    """A ``P_min`` whose first execution raises a retryable :class:`InjectedFault`.
+
+    Same sentinel mechanics as :class:`CrashOnceProtocol`, but the fault is an
+    ordinary exception: the job fails cleanly, the service's retry classifier
+    sees an :class:`OSError`, and the retried attempt runs the real protocol.
+    """
+
+    name = "P_min"
+
+    def __init__(self, t: int, sentinel: "str | Path") -> None:
+        super().__init__(t)
+        self.sentinel = str(sentinel)
+
+    def act(self, state: LocalState) -> Action:
+        try:
+            fd = os.open(self.sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            raise InjectedFault(f"injected first-attempt failure ({self.sentinel})")
+        return super().act(state)
+
+
+class SlowProtocol(MinProtocol):
+    """A ``P_min`` that sleeps before every action — the job-timeout injector.
+
+    ``delay`` is per :meth:`act` call, so total wall time scales with the
+    workload; pick a delay that comfortably exceeds the timeout under test
+    divided by the expected number of action evaluations.
+    """
+
+    name = "P_min"
+
+    def __init__(self, t: int, delay: float = 0.05) -> None:
+        super().__init__(t)
+        self.delay = delay
+
+    def act(self, state: LocalState) -> Action:
+        time.sleep(self.delay)
+        return super().act(state)
+
+
+# ------------------------------------------------------------------ process faults
+
+class ServerHarness:
+    """Drive real ``repro-eba serve`` subprocesses: start, kill, restart.
+
+    The unit of the crash-recovery acceptance tests: a server started through
+    the actual CLI (flags and all), killed with a real signal (``SIGKILL`` by
+    default — a crash leaves no chance to flush anything not already
+    journaled), and restarted on the same arguments so the journal replay
+    path runs exactly as it would in production.
+
+    Use as a context manager; :meth:`start` returns the base URL parsed from
+    the server banner.  ``extra_args`` is where ``--journal``/``--cache-dir``/
+    ``--max-queue`` etc. go.
+    """
+
+    def __init__(self, root: "str | Path", extra_args: Sequence[str] = (),
+                 workers: int = 1) -> None:
+        self.root = Path(root)
+        self.extra_args = list(extra_args)
+        self.workers = workers
+        self.process: Optional[subprocess.Popen] = None
+        self.url: Optional[str] = None
+
+    def start(self, timeout: float = 30.0) -> str:
+        """Start a server on a free port; return its base URL."""
+        if self.process is not None and self.process.poll() is None:
+            raise RuntimeError("server already running; kill() it first")
+        env = dict(os.environ)
+        src = str(self.root / "src")
+        env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                                   if env.get("PYTHONPATH") else "")
+        self.process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve", "--port", "0",
+             "--workers", str(self.workers), *self.extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env, cwd=self.root)
+        banner = self._read_banner(timeout)
+        # "repro-eba job server on http://127.0.0.1:<port> (1 worker(s))"
+        try:
+            self.url = banner.split(" on ", 1)[1].split()[0]
+        except IndexError:
+            self.kill()
+            raise RuntimeError(f"could not parse server banner: {banner!r}")
+        return self.url
+
+    def _read_banner(self, timeout: float) -> str:
+        """First stdout line, with a watchdog so a dead server cannot hang us."""
+        assert self.process is not None and self.process.stdout is not None
+        box: list = []
+        reader = threading.Thread(target=lambda: box.append(
+            self.process.stdout.readline()), daemon=True)
+        reader.start()
+        reader.join(timeout=timeout)
+        if not box or not box[0]:
+            self.kill()
+            raise RuntimeError(f"server produced no banner within {timeout}s")
+        return box[0].strip()
+
+    def kill(self, sig: int = signal.SIGKILL, timeout: float = 10.0) -> Optional[int]:
+        """Deliver ``sig`` (default: the unmaskable crash) and reap the process."""
+        if self.process is None:
+            return None
+        if self.process.poll() is None:
+            self.process.send_signal(sig)
+        try:
+            code = self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+            self.process.kill()
+            code = self.process.wait(timeout=timeout)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+        self.process = None
+        self.url = None
+        return code
+
+    def restart(self, timeout: float = 30.0) -> str:
+        """Kill (if needed) and start a successor with identical arguments."""
+        self.kill()
+        return self.start(timeout=timeout)
+
+    def __enter__(self) -> "ServerHarness":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.kill()
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "CrashOnceProtocol",
+    "FailOnceProtocol",
+    "FaultPlan",
+    "FaultyBackend",
+    "InjectedFault",
+    "ServerHarness",
+    "SlowProtocol",
+]

@@ -198,3 +198,50 @@ class TestResultSet:
         with pytest.raises(ConfigurationError):
             ResultSet(protocol_names=("a",), scenarios=results.scenarios,
                       traces=(results.traces[0][:1],))
+
+
+class TestPoolRebuild:
+    """ParallelExecutor survives worker-process death (BrokenProcessPool)."""
+
+    def crash_spec(self, sentinel, count=12):
+        from repro.testing import CrashOnceProtocol
+        return (Sweep.of(CrashOnceProtocol(1, sentinel))
+                .on_random(4, 1, count=count, seed=3).build())
+
+    def test_dead_worker_is_survived_and_results_match_serial(self, tmp_path):
+        import pickle
+        sentinel = tmp_path / "crash-once"
+        spec = self.crash_spec(sentinel)
+        # Parallel first: exactly one pool worker wins the sentinel race and
+        # dies hard mid-chunk, breaking the pool; the executor rebuilds it and
+        # retries only the unfinished chunks.
+        parallel = spec.run(ParallelExecutor(max_workers=2, chunksize=1))
+        assert sentinel.exists()  # the crash really happened
+        # Serial afterwards: the sentinel now exists, so every act() is plain
+        # P_min — the honest baseline the retried chunks must match.
+        serial = spec.run(SerialExecutor())
+        assert serial == parallel
+        for serial_row, parallel_row in zip(serial.traces, parallel.traces):
+            for serial_trace, parallel_trace in zip(serial_row, parallel_row):
+                assert pickle.dumps(serial_trace) == pickle.dumps(parallel_trace)
+
+    def test_exhausted_pool_retries_raises_broken_pool(self, tmp_path):
+        from concurrent.futures.process import BrokenProcessPool
+        sentinel = tmp_path / "crash-once-no-budget"
+        spec = self.crash_spec(sentinel)
+        with pytest.raises(BrokenProcessPool, match="giving up"):
+            spec.run(ParallelExecutor(max_workers=2, chunksize=1,
+                                      pool_retries=0))
+
+    def test_ordinary_task_exceptions_are_not_retried(self, tmp_path):
+        """A task *raising* (vs dying) is a real error: it propagates."""
+        from repro.testing import FailOnceProtocol, InjectedFault
+        sentinel = tmp_path / "fail-once"
+        spec = (Sweep.of(FailOnceProtocol(1, sentinel))
+                .on_random(4, 1, count=8, seed=3).build())
+        with pytest.raises(InjectedFault):
+            spec.run(ParallelExecutor(max_workers=2, chunksize=1))
+
+    def test_negative_pool_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(pool_retries=-1)

@@ -155,7 +155,7 @@ class TestCacheInspection:
         assert set(payload) == {"location", "entries", "total_bytes",
                                 "by_kind", "session"}
         assert set(payload["session"]) == {"hits", "memory_hits", "misses",
-                                           "puts", "corrupted"}
+                                           "puts", "corrupted", "io_errors"}
         assert payload["location"] == cache_dir
         assert payload["entries"] == 4
         assert payload["by_kind"]["implementation-report"] == 2

@@ -211,7 +211,8 @@ class TestJobQueue:
         assert stats["queue_depth"] == 1 and stats["in_flight"] == 0
         assert set(stats) == {"queue_depth", "in_flight", "submitted",
                               "coalesced", "store_hits", "executed", "failed",
-                              "cancelled", "jobs"}
+                              "cancelled", "retries", "timeouts", "rejected",
+                              "recovered", "jobs"}
         (entry,) = stats["jobs"]
         assert entry["state"] == QUEUED and entry["kind"] == "run"
 

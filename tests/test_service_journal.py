@@ -1,0 +1,223 @@
+"""Tests for the persistent job journal (:mod:`repro.service.journal`).
+
+The crash-safety contract, bottom up:
+
+* append/replay round trips with last-event-wins folding;
+* a torn final line (the signature of ``kill -9`` mid-append) is skipped and
+  counted, never raised;
+* ``recover_into`` re-serves terminal jobs verbatim and re-enqueues
+  non-terminal ones through the ordinary wire path;
+* compaction atomically rewrites state-not-history and survives a replay;
+* a :class:`~repro.service.JobServer` restarted on the same journal path
+  re-serves a finished job's payload byte-identically with zero
+  recomputation, and re-runs whatever was in flight.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import JobJournal, JobQueue, JobServer, ServiceClient, decode_request
+from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED
+from repro.service.journal import _TERMINAL_EVENTS
+from repro.store import ArtifactStore
+
+
+def run_body(preferences=(1, 0, 1)):
+    from repro.service import run_request
+    return run_request("min", 1, 3, list(preferences))
+
+
+class TestReplay:
+    def test_last_event_wins(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", "k1", kind="run", body={"type": "run"})
+        journal.record("running", "k1")
+        journal.record("done", "k1", result={"answer": 42})
+        records = journal.replay()
+        assert records["k1"]["state"] == "done"
+        assert records["k1"]["result"] == {"answer": 42}
+        # Fields accumulate: the body from the submit line survives the
+        # done line that does not carry one.
+        assert records["k1"]["body"] == {"type": "run"}
+
+    def test_none_valued_fields_are_omitted(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", "k1", kind="run", body=None)
+        assert "body" not in journal.replay()["k1"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = JobJournal(tmp_path / "nope.jsonl")
+        assert journal.replay() == {}
+        assert journal.torn_lines == 0
+
+    def test_torn_final_line_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.record("submit", "k1", kind="run", body={"type": "run"})
+        journal.record("done", "k1", result={"ok": True})
+        journal.close()
+        # Simulate a crash mid-append: a second record whose line was cut.
+        whole = json.dumps({"event": "submit", "job": "k2", "kind": "run"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(whole[: len(whole) // 2])
+        records = journal.replay()
+        assert journal.torn_lines == 1
+        assert set(records) == {"k1"}  # the torn k2 line is simply gone
+        assert records["k1"]["state"] == "done"
+
+    def test_garbage_line_mid_file_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.record("submit", "k1", kind="run")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\x00\xff not json\n")
+        journal.record("done", "k1", result={"ok": 1})
+        records = journal.replay()
+        assert journal.torn_lines == 1
+        assert records["k1"]["state"] == "done"
+
+
+class TestRecovery:
+    def test_done_job_is_adopted_terminal(self, tmp_path):
+        body = run_body()
+        request = decode_request(body)
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", request.key, kind="run", body=body)
+        journal.record("done", request.key, result={"payload": "final"})
+        queue = JobQueue()
+        counts = journal.recover_into(queue)
+        assert counts == {"done": 1, "failed": 0, "requeued": 0, "dropped": 0}
+        job = queue.get(request.key)
+        assert job.state == DONE and job.recovered
+        assert job.result == {"payload": "final"}
+        # A re-submission of the same request is served, not re-queued.
+        resubmitted, coalesced = queue.submit(decode_request(body))
+        assert resubmitted is job and not coalesced
+        assert queue.store_hits == 1
+
+    def test_failed_and_cancelled_jobs_keep_their_outcome(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", "kf", kind="run", body=run_body())
+        journal.record("failed", "kf", error="boom")
+        journal.record("submit", "kc", kind="run", body=run_body((0, 1, 1)))
+        journal.record("cancelled", "kc")
+        queue = JobQueue()
+        counts = journal.recover_into(queue)
+        assert counts["failed"] == 1
+        assert queue.get("kf").state == FAILED
+        assert queue.get("kf").error == "boom"
+        assert queue.get("kc").state == CANCELLED
+
+    def test_in_flight_job_is_requeued_for_a_fresh_attempt(self, tmp_path):
+        body = run_body()
+        request = decode_request(body)
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", request.key, kind="run", body=body)
+        journal.record("running", request.key)  # crash happened here
+        queue = JobQueue()
+        counts = journal.recover_into(queue)
+        assert counts["requeued"] == 1
+        job = queue.get(request.key)
+        assert job.state == QUEUED
+        # A worker can pick it up and execute it normally.
+        picked = queue.next_job(timeout=1.0)
+        assert picked is job and picked.request.spec is not None
+
+    def test_undecodable_body_is_dropped_not_fatal(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", "kx", kind="run", body={"type": "nonsense"})
+        journal.record("submit", "ky", kind="run")  # no body at all
+        queue = JobQueue()
+        counts = journal.recover_into(queue)
+        assert counts == {"done": 0, "failed": 0, "requeued": 0, "dropped": 2}
+
+    def test_done_without_payload_is_dropped(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", "kz", kind="run", body=run_body())
+        journal.record("done", "kz")  # result lost somehow
+        queue = JobQueue()
+        assert journal.recover_into(queue)["dropped"] == 1
+        with pytest.raises(Exception):
+            queue.get("kz")
+
+
+class TestCompaction:
+    def test_compaction_preserves_recovery_semantics(self, tmp_path):
+        body = run_body()
+        request = decode_request(body)
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        # A noisy history: submit, run, retry, run, done.
+        journal.record("submit", request.key, kind="run", body=body)
+        journal.record("running", request.key)
+        journal.record("retry", request.key, error="transient")
+        journal.record("running", request.key)
+        journal.record("done", request.key, result={"final": True})
+        queue = JobQueue()
+        journal.recover_into(queue)
+        journal.compact(queue)
+        # Two lines (submit + done), not five.
+        lines = (tmp_path / "journal.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 2
+        # And a second recovery from the compacted file sees the same state.
+        queue2 = JobQueue()
+        counts = JobJournal(tmp_path / "journal.jsonl").recover_into(queue2)
+        assert counts["done"] == 1
+        assert queue2.get(request.key).result == {"final": True}
+
+    def test_compacting_an_empty_queue_truncates(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", "k1", kind="run")
+        journal.compact(JobQueue())
+        assert (tmp_path / "journal.jsonl").read_text() == ""
+
+    def test_terminal_events_constant_matches_queue_states(self):
+        assert set(_TERMINAL_EVENTS) == {DONE, FAILED, CANCELLED}
+
+
+class TestServerRestart:
+    def test_restarted_server_reserves_done_and_reruns_in_flight(self, tmp_path):
+        """The in-process half of the crash-recovery acceptance test.
+
+        Server 1 finishes a job against a journal; a *fresh* server on the
+        same journal (cold store, so nothing can come from the cache)
+        re-serves the identical payload without executing, and a journaled
+        in-flight job is re-enqueued and completed by server 2's workers.
+        """
+        journal_path = tmp_path / "journal.jsonl"
+        body = run_body()
+        with JobServer(port=0, store=ArtifactStore(), workers=1,
+                       journal=str(journal_path)) as server:
+            client = ServiceClient(server.url)
+            payload_before = client.submit_and_wait(body, timeout=60.0)
+            job_id = client.submit(body)["job"]
+        # Fake an in-flight job at crash time by appending to the journal the
+        # way a crashed server would have left it.
+        body2 = run_body((0, 0, 1))
+        request2 = decode_request(body2)
+        journal = JobJournal(journal_path)
+        journal.record("submit", request2.key, kind="run", body=body2)
+        journal.record("running", request2.key)
+        journal.close()
+        with JobServer(port=0, store=ArtifactStore(), workers=1,
+                       journal=str(journal_path)) as server2:
+            client2 = ServiceClient(server2.url)
+            stats = client2.stats()
+            assert stats["service"]["recovered"]["done"] == 1
+            assert stats["service"]["recovered"]["requeued"] == 1
+            assert stats["journal"]["path"] == str(journal_path)
+            # Byte-identical re-serve, no recomputation.
+            payload_after = client2.submit_and_wait(body, timeout=60.0)
+            assert (json.dumps(payload_after, sort_keys=True)
+                    == json.dumps(payload_before, sort_keys=True))
+            status = client2.status(job_id)
+            assert status["state"] == DONE and status.get("recovered") is True
+            # The in-flight job completes on the new server.
+            result2 = client2.wait(request2.key, timeout=60.0)
+            assert result2["kind"] == "run"
+            # Exactly one computation ran on server 2: the requeued job.
+            # The recovered job was re-served, never re-executed.
+            assert client2.stats()["service"]["executed"] == 1

@@ -288,6 +288,79 @@ class TestArtifactStore:
         assert store.clear() == 2
         assert store.stats().entries == 0
 
+    def test_corruption_as_miss_under_concurrent_eviction(self, tmp_path):
+        """Corrupt entries read as misses even while eviction races the reads.
+
+        Readers hammer keys whose on-disk payloads have been damaged while
+        writers force LRU eviction over the same backend: every get must
+        resolve to an artifact or a miss — never an exception — whether the
+        corrupt file is deleted by the corruption path or the evictor first.
+        """
+        store = ArtifactStore(FilesystemBackend(tmp_path), max_bytes=2048,
+                              memory_entries=0)
+        victims = [f"{index:x}" * 16 for index in range(4)]
+        for key in victims:
+            store.put(key, {"key": key})
+        for path in tmp_path.rglob("*"):
+            if path.is_file():
+                path.write_bytes(b"garbage")
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(40):
+                    for key in victims:
+                        assert store.get(key) is None
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        def writer(slot):
+            try:
+                for index in range(40):
+                    store.put(f"{slot}{index:02d}" + "e" * 61,
+                              list(range(100)))
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=reader) for _ in range(3)]
+                   + [threading.Thread(target=writer, args=(slot,))
+                      for slot in range(2)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == []
+        stats = store.stats()
+        # Every victim was either caught corrupt (deleted + counted) by a
+        # reader or evicted first; none survived as a readable artifact.
+        assert stats.corrupted >= 1
+        assert stats.io_errors == 0  # races are not IO errors
+        for key in victims:
+            assert store.get(key) is None
+
+    def test_io_errors_are_counted_and_degrade(self, tmp_path):
+        """A backend that starts raising degrades the store to uncached."""
+        store = default_store(tmp_path)
+        store.put("a" * 64, {"v": 1})
+
+        class DeadBackend:
+            def __getattr__(self, name):
+                def boom(*args, **kwargs):
+                    raise OSError("disk gone")
+                return boom
+
+        store.backend = DeadBackend()
+        store._memory.clear()
+        with pytest.warns(RuntimeWarning, match="degrading to uncached"):
+            assert store.get("a" * 64) is None
+        store.put("b" * 64, {"v": 2})     # skipped, silently
+        assert store.get("b" * 64) == {"v": 2}  # from the memory layer
+        assert store.contains("c" * 64) is False
+        assert store.total_bytes() == 0
+        stats = store.stats()
+        assert stats.io_errors >= 3
+        assert stats.as_dict()["session"]["io_errors"] == stats.io_errors
+
 
 # --------------------------------------------------------------------------- resolution
 
