@@ -17,7 +17,9 @@ transient:
 HTTP 4xx is **never** retried — a 400 is malformed forever, a 404 names a job
 the server does not know — and surfaces as
 :class:`~repro.core.errors.ServiceError`, as does a 5xx that survives the
-retry budget.
+retry budget.  The result fetch is the one 5xx exception: a failed job's 500
+carries its traceback — a deterministic answer, not an outage — and raises
+immediately.
 """
 
 from __future__ import annotations
@@ -75,13 +77,15 @@ class ServiceClient:
     # ------------------------------------------------------------------ transport
 
     def _request(self, method: str, path: str, body: Optional[dict] = None,
-                 expect_errors: bool = False) -> dict:
+                 expect_errors: bool = False, retry_5xx: bool = True) -> dict:
         """One HTTP round trip, JSON in / JSON out, with bounded retry.
 
         ``expect_errors`` returns the decoded payload even on 4xx/5xx without
         retrying (status polling wants the body of a 409/500, not an
         exception — and a 500 carrying a failed job's traceback is an answer,
-        not an outage).
+        not an outage).  ``retry_5xx=False`` keeps the exception behaviour
+        but exempts the call from the 5xx retry budget, for endpoints whose
+        5xx is deterministic (the result fetch of a failed job).
         """
         data = json.dumps(body).encode("utf-8") if body is not None else None
         delay = self.backoff
@@ -101,10 +105,11 @@ class ServiceClient:
                 error = ServiceError(
                     f"{method} {path} failed with HTTP {exc.code}: {message}")
                 error.__cause__ = exc
-                if exc.code < 500 or attempt >= self.retries:
+                if exc.code < 500 or not retry_5xx or attempt >= self.retries:
                     # 4xx is deterministic — retrying a malformed request can
                     # only waste the server's time.  5xx raises once the
-                    # budget is spent.
+                    # budget is spent (or immediately when the caller knows
+                    # the endpoint's 5xx is deterministic).
                     raise error
                 pause = _retry_after_seconds(exc)
                 if pause is None:
@@ -148,8 +153,14 @@ class ServiceClient:
         return self._request("GET", f"/jobs/{job_id}")
 
     def result(self, job_id: str) -> dict:
-        """The finished job's payload (raises :class:`ServiceError` otherwise)."""
-        answer = self._request("GET", f"/jobs/{job_id}/result")
+        """The finished job's payload (raises :class:`ServiceError` otherwise).
+
+        No 5xx retry here: the endpoint's 500 carries a failed job's
+        traceback — a deterministic answer, not an outage — so sleeping
+        through the retry budget would only re-hammer the server.
+        """
+        answer = self._request("GET", f"/jobs/{job_id}/result",
+                               retry_5xx=False)
         return answer["result"]
 
     def cancel(self, job_id: str) -> dict:

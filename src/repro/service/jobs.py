@@ -168,6 +168,11 @@ class JobQueue:
         self._pending: Deque[str] = deque()
         self._delayed: List[Tuple[float, int, str]] = []  # (ready_at, seq, key)
         self._delay_seq = 0
+        #: Jobs currently in state QUEUED.  This — not ``len(_pending)`` —
+        #: is the backpressure depth: cancelling a queued job leaves its key
+        #: in the deque/heap (skipped at pickup), and stale keys must not
+        #: occupy ``max_queue`` slots against fresh submissions.
+        self._queued = 0
         self._stopped = False
         self.max_queue = max_queue
         self.max_retries = max_retries
@@ -178,7 +183,8 @@ class JobQueue:
         self.journal = None
         #: Journal-recovery counts (set by ``JobJournal.recover_into``).
         self.recovered: Dict[str, int] = {"done": 0, "failed": 0,
-                                          "requeued": 0, "dropped": 0}
+                                          "cancelled": 0, "requeued": 0,
+                                          "dropped": 0}
         # -- counters (reported by /stats) ----------------------------------
         self.submitted = 0    # every submission, coalesced or not
         self.coalesced = 0    # submissions absorbed by a live (queued/running) job
@@ -231,13 +237,13 @@ class JobQueue:
                     return job, False
                 # failed / cancelled: fall through to a fresh attempt.
             if warm_result is None and self.max_queue is not None:
-                depth = len(self._pending) + len(self._delayed)
-                if depth >= self.max_queue:
+                if self._queued >= self.max_queue:
                     self.submitted -= 1  # never admitted
                     self.rejected += 1
                     raise ServiceUnavailable(
-                        f"job queue is full ({depth} pending >= max_queue="
-                        f"{self.max_queue}); retry in {self.retry_after:g}s",
+                        f"job queue is full ({self._queued} pending >= "
+                        f"max_queue={self.max_queue}); retry in "
+                        f"{self.retry_after:g}s",
                         retry_after=self.retry_after)
             job = Job(request)
             self._jobs[request.key] = job
@@ -250,6 +256,7 @@ class JobQueue:
                 self._record("done", job, result=warm_result)
                 return job, False
             self._pending.append(request.key)
+            self._queued += 1
             self._record("submit", job, kind=request.kind, body=request.body)
             self._ready.notify()
             return job, False
@@ -285,10 +292,14 @@ class JobQueue:
             if job.state == QUEUED:
                 job.state = CANCELLED
                 job.finished_at = time.time()
+                self._queued -= 1
                 self.cancelled += 1
                 self._record("cancelled", job)
             elif job.state == RUNNING:
                 job.cancel_requested = True
+                # Journaled so a crash before the worker's next chunk-boundary
+                # check recovers the job as cancelled, not as a fresh re-run.
+                self._record("cancel_requested", job)
             return job
 
     # ------------------------------------------------------------------ worker side
@@ -312,6 +323,7 @@ class JobQueue:
                     job = self._jobs[key]
                     if job.state != QUEUED:  # cancelled while waiting
                         continue
+                    self._queued -= 1
                     job.state = RUNNING
                     job.attempts += 1
                     job.started_at = time.time()
@@ -393,6 +405,7 @@ class JobQueue:
                 job.state = QUEUED
                 job.started_at = None
                 job.error = error
+                self._queued += 1
                 delay = self.retry_backoff * (2 ** (job.attempts - 1))
                 self.retries += 1
                 self._delay_seq += 1

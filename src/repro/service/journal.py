@@ -10,16 +10,19 @@ restarted ``repro-eba serve`` pointed at the same journal path
   worker),
 * re-serves ``failed``/``cancelled`` job ids with their recorded outcome, and
 * **re-enqueues** every job that was queued or running at crash time, decoding
-  the journaled request body through the ordinary wire path.
+  the journaled request body through the ordinary wire path — except a
+  running job whose cooperative cancel was requested but not yet confirmed,
+  which recovers as ``cancelled`` (the client had already asked it to stop).
 
 The format is one JSON object per line::
 
-    {"event": "submit",    "job": <key>, "kind": ..., "body": {...}}
-    {"event": "running",   "job": <key>}
-    {"event": "retry",     "job": <key>, "error": ...}
-    {"event": "done",      "job": <key>, "result": {...}}
-    {"event": "failed",    "job": <key>, "error": ...}
-    {"event": "cancelled", "job": <key>}
+    {"event": "submit",           "job": <key>, "kind": ..., "body": {...}}
+    {"event": "running",          "job": <key>}
+    {"event": "retry",            "job": <key>, "error": ...}
+    {"event": "cancel_requested", "job": <key>}
+    {"event": "done",             "job": <key>, "result": {...}}
+    {"event": "failed",           "job": <key>, "error": ...}
+    {"event": "cancelled",        "job": <key>}
 
 Replay folds lines left to right, so the *last* event per key wins.  A torn
 final line — the signature of a crash mid-append — is detected and skipped
@@ -42,6 +45,7 @@ import json
 import os
 import tempfile
 import threading
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, TYPE_CHECKING
 
@@ -70,6 +74,11 @@ class JobJournal:
         #: Unparseable lines skipped by the last :meth:`replay` (a torn final
         #: write counts here); reported by ``/stats``.
         self.torn_lines = 0
+        #: Appends dropped because the underlying file raised (full disk,
+        #: revoked mount); reported by ``/stats``.  The journal degrades —
+        #: it never propagates a disk failure into a queue transition.
+        self.write_errors = 0
+        self._write_warned = False
 
     # ------------------------------------------------------------------ append
 
@@ -78,17 +87,44 @@ class JobJournal:
 
         ``fields`` are extra JSON-safe attributes (``kind``/``body`` for
         submissions, ``result`` for completions, ``error`` for failures).
+
+        Write failures (full disk, revoked mount) never escape: the queue
+        calls this from inside its state transitions, and an ``OSError``
+        propagating out of ``finish``/``fail`` would kill the worker thread
+        and strand the job in ``running``.  Instead the append is dropped and
+        counted in :attr:`write_errors` (one warning per journal), and the
+        handle is discarded so the next append retries with a fresh open — a
+        transient failure heals, a persistent one degrades crash-safety only.
         """
         entry = {"event": event, "job": key}
         entry.update({name: value for name, value in fields.items()
                       if value is not None})
         line = json.dumps(entry, sort_keys=True) + "\n"
         with self._lock:
-            if self._handle is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(line)
-            self._handle.flush()
+            try:
+                if self._handle is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(line)
+                self._handle.flush()
+                return
+            except OSError as exc:
+                self.write_errors += 1
+                if self._handle is not None:
+                    try:
+                        self._handle.close()
+                    except OSError:
+                        pass
+                    self._handle = None
+                if self._write_warned:
+                    return
+                self._write_warned = True
+                error = exc
+        warnings.warn(
+            f"job journal append to {self.path} failed ({error!r}); dropping "
+            f"journal entries (crash-safety degraded; further write errors "
+            f"counted silently — see /stats)",
+            RuntimeWarning, stacklevel=3)
 
     def close(self) -> None:
         with self._lock:
@@ -137,49 +173,62 @@ class JobJournal:
         the journaled payload, so re-submissions and result fetches are served
         without recomputation.  Non-terminal jobs (queued / running / retrying
         at crash time) are re-decoded from their journaled body and enqueued
-        for a fresh attempt.  Returns (and stores on the queue, for
-        ``/stats``) the recovery counts; call *before* attaching this journal
-        to the queue so replay does not re-journal itself.
+        for a fresh attempt; a job whose last event is ``cancel_requested``
+        recovers as ``cancelled`` — the client had already asked it to stop,
+        and re-running it would undo the cancellation.  Returns (and stores on
+        the queue, for ``/stats``) the recovery counts; call *before*
+        attaching this journal to the queue so replay does not re-journal
+        itself.
         """
         from .jobs import Job
         from .wire import JobRequest, decode_request
 
-        counts = {"done": 0, "failed": 0, "requeued": 0, "dropped": 0}
-        for key, record in self.replay().items():
-            state = record.get("state")
-            if state in _TERMINAL_EVENTS:
-                request = JobRequest(kind=record.get("kind", "unknown"),
-                                     spec=None, key=key,
-                                     body=record.get("body"))
-                job = Job(request)
-                if state == "done" and record.get("result") is not None:
-                    job.mark_recovered("done", result=record["result"])
-                    counts["done"] += 1
-                elif state == "failed":
-                    job.mark_recovered("failed", error=record.get(
-                        "error", "failed before the last server restart"))
-                    counts["failed"] += 1
-                elif state == "cancelled":
-                    job.mark_recovered("cancelled")
-                else:  # a done line with no payload: nothing to re-serve
-                    counts["dropped"] += 1
-                    continue
-                queue.adopt(job)
-            else:
-                body = record.get("body")
-                if body is None:
-                    counts["dropped"] += 1
-                    continue
-                try:
-                    request = decode_request(body)
-                except Exception:
-                    # The journaled body no longer decodes (library changed
-                    # between restarts, say): drop it rather than crash the
-                    # whole recovery.
-                    counts["dropped"] += 1
-                    continue
-                queue.submit(request)
-                counts["requeued"] += 1
+        counts = {"done": 0, "failed": 0, "cancelled": 0, "requeued": 0,
+                  "dropped": 0}
+        # The backpressure bound governs *new* submissions; pre-crash the
+        # queue could legitimately hold max_queue pending jobs, and bouncing
+        # the (max_queue+1)th here would make a loaded server unrestartable
+        # on its own journal.  Journaled jobs are always re-admitted.
+        bound, queue.max_queue = queue.max_queue, None
+        try:
+            for key, record in self.replay().items():
+                state = record.get("state")
+                if state in _TERMINAL_EVENTS or state == "cancel_requested":
+                    request = JobRequest(kind=record.get("kind", "unknown"),
+                                         spec=None, key=key,
+                                         body=record.get("body"))
+                    job = Job(request)
+                    if state == "done" and record.get("result") is not None:
+                        job.mark_recovered("done", result=record["result"])
+                        counts["done"] += 1
+                    elif state == "failed":
+                        job.mark_recovered("failed", error=record.get(
+                            "error", "failed before the last server restart"))
+                        counts["failed"] += 1
+                    elif state in ("cancelled", "cancel_requested"):
+                        job.mark_recovered("cancelled")
+                        counts["cancelled"] += 1
+                    else:  # a done line with no payload: nothing to re-serve
+                        counts["dropped"] += 1
+                        continue
+                    queue.adopt(job)
+                else:
+                    body = record.get("body")
+                    if body is None:
+                        counts["dropped"] += 1
+                        continue
+                    try:
+                        request = decode_request(body)
+                    except Exception:
+                        # The journaled body no longer decodes (library changed
+                        # between restarts, say): drop it rather than crash the
+                        # whole recovery.
+                        counts["dropped"] += 1
+                        continue
+                    queue.submit(request)
+                    counts["requeued"] += 1
+        finally:
+            queue.max_queue = bound
         queue.recovered = dict(counts)
         return counts
 

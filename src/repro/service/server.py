@@ -246,7 +246,8 @@ class JobServer:
         payload = {"service": self.queue.stats(), "workers": self.pool.workers}
         if self.journal is not None:
             payload["journal"] = {"path": str(self.journal.path),
-                                  "torn_lines": self.journal.torn_lines}
+                                  "torn_lines": self.journal.torn_lines,
+                                  "write_errors": self.journal.write_errors}
         else:
             payload["journal"] = None
         if self.store is not None:

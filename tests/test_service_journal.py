@@ -16,11 +16,13 @@ The crash-safety contract, bottom up:
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
+from repro.core.errors import ServiceUnavailable
 from repro.service import JobJournal, JobQueue, JobServer, ServiceClient, decode_request
-from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED
+from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, RUNNING
 from repro.service.journal import _TERMINAL_EVENTS
 from repro.store import ArtifactStore
 
@@ -90,7 +92,8 @@ class TestRecovery:
         journal.record("done", request.key, result={"payload": "final"})
         queue = JobQueue()
         counts = journal.recover_into(queue)
-        assert counts == {"done": 1, "failed": 0, "requeued": 0, "dropped": 0}
+        assert counts == {"done": 1, "failed": 0, "cancelled": 0,
+                          "requeued": 0, "dropped": 0}
         job = queue.get(request.key)
         assert job.state == DONE and job.recovered
         assert job.result == {"payload": "final"}
@@ -133,7 +136,8 @@ class TestRecovery:
         journal.record("submit", "ky", kind="run")  # no body at all
         queue = JobQueue()
         counts = journal.recover_into(queue)
-        assert counts == {"done": 0, "failed": 0, "requeued": 0, "dropped": 2}
+        assert counts == {"done": 0, "failed": 0, "cancelled": 0,
+                          "requeued": 0, "dropped": 2}
 
     def test_done_without_payload_is_dropped(self, tmp_path):
         journal = JobJournal(tmp_path / "journal.jsonl")
@@ -143,6 +147,98 @@ class TestRecovery:
         assert journal.recover_into(queue)["dropped"] == 1
         with pytest.raises(Exception):
             queue.get("kz")
+
+    def test_recovery_ignores_the_backpressure_bound(self, tmp_path):
+        """A journal holding > max_queue pending jobs must not wedge restart.
+
+        Pre-crash the queue can legitimately hold ``max_queue`` pending jobs;
+        enforcing the bound during replay would make every restart fail the
+        same way until the operator deleted the journal.
+        """
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        bodies = [run_body(p) for p in ((1, 0, 1), (0, 1, 1), (1, 1, 0))]
+        for body in bodies:
+            journal.record("submit", decode_request(body).key,
+                           kind="run", body=body)
+        queue = JobQueue(max_queue=1)
+        counts = journal.recover_into(queue)
+        assert counts["requeued"] == 3
+        # ...and the bound still applies to *new* submissions afterwards.
+        assert queue.max_queue == 1
+        with pytest.raises(ServiceUnavailable):
+            queue.submit(decode_request(run_body((0, 0, 1))))
+
+    def test_pending_cancel_recovers_as_cancelled(self, tmp_path):
+        """A crash between cancel() and the worker's confirmation must not
+        resurrect a job the client had already asked to stop."""
+        body = run_body()
+        request = decode_request(body)
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record("submit", request.key, kind="run", body=body)
+        journal.record("running", request.key)
+        journal.record("cancel_requested", request.key)  # crash before confirm
+        queue = JobQueue()
+        counts = journal.recover_into(queue)
+        assert counts["cancelled"] == 1 and counts["requeued"] == 0
+        job = queue.get(request.key)
+        assert job.state == CANCELLED and job.recovered
+
+    def test_running_cancel_is_journaled_for_recovery(self, tmp_path):
+        """End-to-end: queue.cancel on a running job writes the event."""
+        body = run_body()
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        queue = JobQueue()
+        queue.journal = journal
+        job, _ = queue.submit(decode_request(body))
+        assert queue.next_job(timeout=1.0) is job
+        queue.cancel(job.key)  # running: cooperative, not yet confirmed
+        assert job.state == RUNNING and job.cancel_requested
+        # Crash now: a fresh queue recovers the job as cancelled.
+        queue2 = JobQueue()
+        counts = JobJournal(tmp_path / "journal.jsonl").recover_into(queue2)
+        assert counts["cancelled"] == 1
+        assert queue2.get(job.key).state == CANCELLED
+
+
+class TestWriteDegradation:
+    """Journal write errors degrade crash-safety; they never crash the queue."""
+
+    def test_write_error_is_counted_and_warned_once(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        (tmp_path / "journal.jsonl").mkdir()  # appending now raises OSError
+        with pytest.warns(RuntimeWarning, match="journal append"):
+            journal.record("submit", "k1", kind="run", body=run_body())
+        assert journal.write_errors == 1
+        # Further failures count silently — one warning per journal.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            journal.record("running", "k1")
+        assert journal.write_errors == 2
+
+    def test_queue_transitions_survive_a_dead_journal(self, tmp_path):
+        """finish/fail must not propagate a disk failure into the worker."""
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        (tmp_path / "journal.jsonl").mkdir()
+        queue = JobQueue()
+        queue.journal = journal
+        with pytest.warns(RuntimeWarning, match="journal append"):
+            job, _ = queue.submit(decode_request(run_body()))
+        assert queue.next_job(timeout=1.0) is job
+        queue.finish(job, {"payload": "ok"})
+        assert job.state == DONE and queue.executed == 1
+        assert journal.write_errors == 3  # submit + running + done
+
+    def test_write_errors_heal_when_the_disk_comes_back(self, tmp_path):
+        """The handle is dropped on failure, so the next append reopens."""
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        (tmp_path / "journal.jsonl").mkdir()
+        with pytest.warns(RuntimeWarning):
+            journal.record("submit", "k1", kind="run", body=run_body())
+        (tmp_path / "journal.jsonl").rmdir()  # the "disk" recovers
+        journal.record("done", "k1", result={"late": True})
+        assert journal.write_errors == 1
+        assert JobJournal(tmp_path / "journal.jsonl").replay()["k1"][
+            "state"] == "done"
 
 
 class TestCompaction:

@@ -70,6 +70,22 @@ class TestBackpressure:
         again, coalesced = queue.submit(decode_request(run_body()))
         assert again is job and coalesced
 
+    def test_cancelled_jobs_free_their_backpressure_slot(self):
+        """A burst of cancellations must not 503 fresh submissions.
+
+        Cancelling a queued job leaves its key in the pending deque (it is
+        only skipped at pickup); the depth must count live QUEUED jobs, not
+        stale keys, or cancelled jobs keep occupying max_queue slots until a
+        worker happens to drain them.
+        """
+        queue = JobQueue(max_queue=1)
+        job, _ = queue.submit(decode_request(run_body((1, 0, 1))))
+        queue.cancel(job.key)
+        fresh, _ = queue.submit(decode_request(run_body((0, 1, 1))))
+        assert fresh.state == QUEUED and queue.rejected == 0
+        # The stale key is skipped at pickup; the fresh job is served.
+        assert queue.next_job(timeout=1.0) is fresh
+
     def test_http_503_with_retry_after(self, monkeypatch):
         monkeypatch.setitem(wire.PROTOCOL_FACTORIES, "slow",
                             lambda t: SlowProtocol(t, delay=0.2))
@@ -292,6 +308,16 @@ class TestClientRetries:
         with pytest.raises(ServiceError, match="HTTP 500"):
             client.healthz()
         assert scripted_server.hits == 3  # 1 try + 2 retries
+
+    def test_result_500_is_not_retried(self, scripted_server):
+        """A failed job's 500 is an answer, not an outage: result() must
+        raise immediately instead of sleeping through the retry budget."""
+        scripted_server.script[:] = [(500, {}, {"error": "the traceback"})] * 6
+        client = ServiceClient(self.url(scripted_server), retries=5,
+                               backoff=5.0)  # retrying would stall for ages
+        with pytest.raises(ServiceError, match="HTTP 500"):
+            client.result("k")
+        assert scripted_server.hits == 1
 
     def test_expect_errors_short_circuits_retries(self, scripted_server):
         scripted_server.script[:] = [(500, {}, {"error": "the traceback"})]
