@@ -93,6 +93,11 @@ class SerialExecutor:
         """
         return execute_batches(batches)
 
+    def scan_runs(self, system, kernel, *, row_shape=(), dtype="int16"):
+        """Apply a per-run scan kernel in-process (see :mod:`repro.api.scans`)."""
+        from .scans import scan_runs
+        return scan_runs(system, kernel, row_shape=row_shape, dtype=dtype, workers=1)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialExecutor()"
 
@@ -226,6 +231,23 @@ class ParallelExecutor:
         for chunk_traces in self._map_chunks(_execute_batch_chunk, chunks, workers):
             traces.extend(chunk_traces)
         return traces
+
+    def scan_runs(self, system, kernel, *, row_shape=(), dtype="int16"):
+        """Shard a per-run scan kernel across forked workers via shared memory.
+
+        The check-phase counterpart of :meth:`run_batches`: where batch tasks
+        parallelise system *construction*, scan kernels parallelise the
+        per-run remainder of the *check* phase (the safety scan's zero-chain
+        receipts).  Dispatches to :func:`repro.api.scans.scan_runs`, which
+        inherits the already-built system into fork children copy-on-write and
+        assembles rows through one shared-memory block — falling back to an
+        in-process call whenever sharding cannot pay (small systems, one
+        worker, platforms without ``fork``), with byte-identical results
+        either way.
+        """
+        from .scans import scan_runs
+        return scan_runs(system, kernel, row_shape=row_shape, dtype=dtype,
+                         workers=self._effective_workers())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ParallelExecutor(max_workers={self.max_workers}, "

@@ -70,7 +70,9 @@ class ReferenceModelChecker:
 
     def counterexamples(self, formula: Formula, limit: int = 5) -> list[Point]:
         """Up to ``limit`` points at which ``formula`` fails, in system order."""
-        failures = []
+        failures: list[Point] = []
+        if limit <= 0:
+            return failures
         satisfying = self.satisfying_points(formula)
         for point in self.system.points:
             if point not in satisfying:

@@ -1,16 +1,31 @@
 """Bitset-based model checking of epistemic temporal formulas over finite systems.
 
 The evaluator computes, for each sub-formula, the set of points of the
-interpreted system at which it holds (memoised per formula object).  Point sets
-are dense bitmasks over the index ``run_index * (horizon + 1) + time`` (one
-Python ``int`` per formula), so the propositional connectives are single
-big-integer operations, the temporal operators are shift-and-mask pipelines
-over per-run segments, and the knowledge operators are sweeps over the
-system's interned per-agent equivalence-class masks.  The public API still
-speaks sets of points: :meth:`ModelChecker.satisfying_points` returns a
+interpreted system at which it holds (memoised per formula object).  Two
+backends share the same semantics:
+
+* ``backend="words"`` (the default whenever numpy is importable) stores each
+  satisfying set as a numpy ``uint64`` word array (point ``p`` = bit
+  ``p % 64`` of word ``p // 64``; see :mod:`repro.logic.words`).  The
+  propositional connectives are vectorized word operations, the temporal
+  operators are cross-word shift pipelines, the ``K_i``/``E_S``/``C_S``
+  sweeps run word-level AND/OR over the system's stacked class-mask matrix
+  (or an ``np.bincount`` class reduction when an agent has many classes), and
+  :meth:`ModelChecker.counterexamples` recovers failing points with
+  ``np.nonzero`` instead of Python bit iteration.
+
+* ``backend="int"`` is the original dense Python ``int`` representation — one
+  big integer per formula, big-integer connectives, shift-and-mask temporal
+  pipelines, and a per-class Python sweep for the knowledge operators.  It is
+  retained both as the numpy-free fallback and as a second differential
+  oracle: the three-way suite in ``tests/test_logic_bitset_reference.py``
+  checks reference vs int-bitmask vs word-array on every formula constructor.
+
+The public API is backend-independent and still speaks sets of points:
+:meth:`ModelChecker.satisfying_points` returns a
 :class:`~repro.systems.points.PointSet`, a drop-in stand-in for the previous
-``frozenset[Point]`` representation.  A straightforward set-based evaluator is
-retained in :mod:`repro.logic.reference` as a differential-testing oracle.
+``frozenset[Point]`` representation.  The straightforward set-based evaluator
+is retained in :mod:`repro.logic.reference` as the ground-truth oracle.
 
 Temporal operators are given the natural *bounded-horizon* semantics: ``⃝ φ``
 is false at the final time of the system (there is no next point), and ``□``,
@@ -22,11 +37,12 @@ paper uses (their temporal depth is one).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 from ..core.errors import ModelCheckingError
 from ..systems.interpreted import InterpretedSystem
 from ..systems.points import Point, PointSet
+from . import words as _words
 from .formula import (
     Always,
     AlwaysFuture,
@@ -49,17 +65,46 @@ from .formula import (
     TrueFormula,
 )
 
-__all__ = ["ModelChecker", "PointSet", "holds", "satisfying_points", "valid"]
+__all__ = ["BACKENDS", "ModelChecker", "PointSet", "holds", "satisfying_points", "valid"]
+
+#: The evaluation backends :class:`ModelChecker` dispatches between.
+BACKENDS = ("words", "int")
+
+
+def default_backend() -> str:
+    """The backend a bare ``ModelChecker(system)`` uses on this interpreter."""
+    return "words" if _words.HAVE_NUMPY else "int"
 
 
 class ModelChecker:
-    """Evaluates formulas over one interpreted system, caching per-formula results."""
+    """Evaluates formulas over one interpreted system, caching per-formula results.
 
-    def __init__(self, system: InterpretedSystem) -> None:
+    ``backend`` selects the satisfying-set representation: ``"words"`` (numpy
+    ``uint64`` word arrays, the default when numpy is available) or ``"int"``
+    (dense Python ints, the numpy-free fallback and differential oracle).
+    Results are identical bit for bit; only the evaluation machinery differs.
+    """
+
+    def __init__(self, system: InterpretedSystem, backend: Optional[str] = None) -> None:
+        if backend is None:
+            backend = default_backend()
+        if backend not in BACKENDS:
+            raise ModelCheckingError(
+                f"unknown model-checker backend {backend!r}; use one of {BACKENDS}")
+        if backend == "words" and not _words.HAVE_NUMPY:
+            raise ModelCheckingError(
+                "the word-array backend requires numpy; install it or use "
+                "ModelChecker(system, backend='int')")
         self.system = system
+        self.backend = backend
         self._cache: Dict[Formula, int] = {}
         self._full: int = system.full_mask
         self._all_points: PointSet = system.point_set(self._full)
+        if backend == "words":
+            self._wcache: Dict[Formula, object] = {}
+            self._full_words = system.full_words()
+            self._final_words = system.time_words(system.horizon)
+            self._initial_words = system.time_words(0)
 
     # ------------------------------------------------------------------ public API
 
@@ -71,24 +116,54 @@ class ModelChecker:
         """The satisfying set as a raw bitmask over the dense point index."""
         mask = self._cache.get(formula)
         if mask is None:
-            mask = self._evaluate(formula)
+            if self.backend == "words":
+                mask = _words.words_to_mask(self.satisfying_words(formula))
+            else:
+                mask = self._evaluate(formula)
             self._cache[formula] = mask
         return mask
 
+    def satisfying_words(self, formula: Formula):
+        """The satisfying set as a canonical ``uint64`` word array (words backend only)."""
+        if self.backend != "words":
+            raise ModelCheckingError(
+                "satisfying_words is only available on the words backend; "
+                "use satisfying_mask")
+        result = self._wcache.get(formula)
+        if result is None:
+            result = self._evaluate_words(formula)
+            self._wcache[formula] = result
+        return result
+
     def holds(self, formula: Formula, point: Point) -> bool:
         """Whether ``formula`` holds at ``point``."""
+        if self.backend == "words":
+            index = self.system.point_index(point)
+            word = self.satisfying_words(formula)[index >> 6]
+            return bool((int(word) >> (index & 63)) & 1)
         return point in self.satisfying_points(formula)
 
     def valid(self, formula: Formula) -> bool:
         """Whether ``formula`` holds at every point of the system."""
+        if self.backend == "words":
+            import numpy as np
+            return bool(np.array_equal(self.satisfying_words(formula), self._full_words))
         return self.satisfying_mask(formula) == self._full
 
     def counterexamples(self, formula: Formula, limit: int = 5) -> list[Point]:
         """Up to ``limit`` points at which ``formula`` fails (for diagnostics).
 
         Counterexamples are listed in the system's deterministic point order
-        (run-major, time-minor), independent of the set representation.
+        (run-major, time-minor), independent of the set representation — on
+        the words backend the failing points are recovered with an
+        ``np.nonzero``-style vectorized scan instead of Python bit iteration
+        (the ordering/limit contract is pinned by regression tests against
+        all three checker implementations).
         """
+        if self.backend == "words":
+            failing = self._full_words & ~self.satisfying_words(formula)
+            indices = _words.indices_of_words(failing, self.system.num_points)
+            return [self.system.point_at(int(index)) for index in indices[:limit]]
         failing = self._full & ~self.satisfying_mask(formula)
         return list(self.system.point_set(failing).first(limit))
 
@@ -229,6 +304,140 @@ class ModelChecker:
         while True:
             updated = current & self._everyone_knows_mask(group, inner & current)
             if updated == current:
+                return updated
+            current = updated
+
+    # ------------------------------------------------------------------ word-array evaluation
+    #
+    # Mirrors ``_evaluate`` constructor by constructor on numpy uint64 word
+    # arrays.  Every helper keeps its result canonical (tail bits of the last
+    # word zero), so word-wise equality is set equality throughout.
+
+    def _evaluate_words(self, formula: Formula):
+        system = self.system
+        if isinstance(formula, TrueFormula):
+            return self._full_words.copy()
+        if isinstance(formula, InitEquals):
+            return _words.mask_to_words(
+                system.init_mask(formula.agent, formula.value), system.num_points)
+        if isinstance(formula, DecidedEquals):
+            return _words.mask_to_words(
+                system.decided_mask(formula.agent, formula.value), system.num_points)
+        if isinstance(formula, TimeEquals):
+            return system.time_words(formula.time).copy()
+        if isinstance(formula, IsNonfaulty):
+            return system.nonfaulty_words(formula.agent).copy()
+        if isinstance(formula, Not):
+            return self._full_words & ~self.satisfying_words(formula.operand)
+        if isinstance(formula, And):
+            result = self._full_words.copy()
+            for operand in formula.operands:
+                result &= self.satisfying_words(operand)
+            return result
+        if isinstance(formula, Or):
+            result = _words.zero_words(system.num_points)
+            for operand in formula.operands:
+                result |= self.satisfying_words(operand)
+            return result
+        if isinstance(formula, Knows):
+            return self._knows_words(formula.agent, self.satisfying_words(formula.operand))
+        if isinstance(formula, EveryoneKnows):
+            return self._everyone_knows_words(formula.group,
+                                              self.satisfying_words(formula.operand))
+        if isinstance(formula, CommonKnowledge):
+            return self._common_knowledge_words(formula.group,
+                                                self.satisfying_words(formula.operand))
+        if isinstance(formula, Next):
+            return _words.shift_down_words(self.satisfying_words(formula.operand)) \
+                & ~self._final_words
+        if isinstance(formula, Previous):
+            return _words.shift_up_words(self.satisfying_words(formula.operand),
+                                         self._full_words) & ~self._initial_words
+        if isinstance(formula, AlwaysFuture):
+            return self._always_future_words(self.satisfying_words(formula.operand))
+        if isinstance(formula, Always):
+            return self._always_words(self.satisfying_words(formula.operand))
+        if isinstance(formula, Eventually):
+            return self._eventually_words(self.satisfying_words(formula.operand))
+        raise ModelCheckingError(f"unsupported formula type: {type(formula).__name__}")
+
+    def _always_future_words(self, inner):
+        """``□ φ`` on word arrays: the same suffix-AND pipeline as ``_always_future``."""
+        final = self._final_words
+        result = inner.copy()
+        for _ in range(self.system.horizon):
+            result &= (_words.shift_down_words(result) & ~final) | final
+        return result
+
+    def _eventually_words(self, inner):
+        """``◇ φ`` on word arrays: suffix OR per run."""
+        final = self._final_words
+        result = inner.copy()
+        for _ in range(self.system.horizon):
+            result |= _words.shift_down_words(result) & ~final
+        return result
+
+    def _always_words(self, inner):
+        """``⊡ φ`` on word arrays: all-or-nothing per run segment."""
+        initial = self._initial_words
+        result = self._always_future_words(inner) & initial
+        for _ in range(self.system.horizon):
+            result |= _words.shift_up_words(result, self._full_words) & ~initial
+        return result
+
+    def _knows_words(self, agent: int, inner):
+        """``K_agent`` on word arrays.
+
+        Two vectorized strategies, selected by the agent's class count:
+
+        * **dense** (few classes): AND each row of the stacked
+          ``(num_classes, num_words)`` class-mask matrix against ``~inner``
+          and OR the fully-contained rows back together — pure word-level
+          AND/OR, no per-point data;
+        * **bincount** (many classes): unpack ``inner`` to per-point bits and
+          reduce per class id with :func:`repro.logic.words.class_all`, which
+          stays linear in points regardless of how many classes there are.
+        """
+        import numpy as np
+        partition = self.system.partition(agent)
+        num_classes = len(partition.class_masks)
+        if num_classes <= _words.DENSE_CLASS_LIMIT:
+            matrix = self.system.partition_words(agent)
+            if not len(matrix):
+                return _words.zero_words(self.system.num_points)
+            escapes = np.bitwise_and(matrix, ~inner[np.newaxis, :])
+            contained = ~escapes.any(axis=1)
+            if not contained.any():
+                return _words.zero_words(self.system.num_points)
+            return np.bitwise_or.reduce(matrix[contained], axis=0)
+        class_ids = self.system.class_id_array(agent)
+        bits = _words.unpack_words(inner, self.system.num_points)
+        return _words.pack_bits(_words.class_all(class_ids, num_classes, bits))
+
+    def _everyone_knows_words(self, group: Group, inner):
+        """``E_S`` on word arrays (same NONFAULTY indexical handling as the int path)."""
+        if isinstance(group, str):
+            if group != NONFAULTY:
+                raise ModelCheckingError(f"unsupported group specification: {group!r}")
+            result = self._full_words.copy()
+            for agent in range(self.system.n):
+                knows = self._knows_words(agent, inner)
+                result &= knows | (self._full_words & ~self.system.nonfaulty_words(agent))
+            return result
+        if isinstance(group, (frozenset, set, tuple, list)):
+            result = self._full_words.copy()
+            for agent in group:
+                result &= self._knows_words(agent, inner)
+            return result
+        raise ModelCheckingError(f"unsupported group specification: {group!r}")
+
+    def _common_knowledge_words(self, group: Group, inner):
+        """Greatest fixpoint of ``X = E_S(φ ∧ X)`` on word arrays."""
+        import numpy as np
+        current = self._full_words.copy()
+        while True:
+            updated = current & self._everyone_knows_words(group, inner & current)
+            if np.array_equal(updated, current):
                 return updated
             current = updated
 

@@ -1,0 +1,288 @@
+"""uint64 word-array kernels behind the vectorized model-checking hot paths.
+
+The bitset :class:`~repro.logic.semantics.ModelChecker` stores each formula's
+satisfying set as one dense Python ``int`` (bit ``run * stride + time``).  The
+propositional connectives on that representation are single big-integer
+operations, but everything that has to look *inside* the mask — the per-class
+``K_i`` sweeps, the Definition 6.2 safety scan, counterexample extraction —
+historically fell back to per-point (or per-bit) Python loops.
+
+This module re-lays the same bitmasks as numpy ``uint64`` word arrays (little
+endian, point ``p`` lives in bit ``p % 64`` of word ``p // 64``) and provides
+the primitives the vectorized paths are built from:
+
+* lossless conversions between ``int`` masks, word arrays, and per-point bit
+  vectors (with careful handling of the garbage tail bits of the last word
+  when the point count is not a multiple of 64 — pinned by the property tests
+  in ``tests/test_properties.py``);
+* word-level shift pipelines for the temporal operators (cross-word carries,
+  same run-boundary masking discipline as the ``int`` path);
+* per-equivalence-class reductions (``class_all`` / ``class_any``) over a
+  point-indexed class-id vector, which turn the per-class membership sweeps of
+  ``K_i`` and the safety condition into ``np.bincount`` calls;
+* ``np.nonzero``-style point-index recovery for counterexample extraction.
+
+numpy is an *optional* dependency: every import is gated behind
+:data:`HAVE_NUMPY`, and callers (the model checker, the safety scan) fall back
+to the pure-``int`` implementations when it is absent.  The ``int`` path is
+retained everywhere as a differential oracle — see
+``tests/test_logic_bitset_reference.py`` for the three-way reference /
+int-bitmask / word-array suite.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every word-kernel test
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
+
+__all__ = [
+    "HAVE_NUMPY",
+    "WORD_BITS",
+    "word_count",
+    "full_words",
+    "zero_words",
+    "mask_to_words",
+    "words_to_mask",
+    "unpack_words",
+    "pack_bits",
+    "indices_of_words",
+    "indices_of_mask",
+    "shift_down_words",
+    "shift_up_words",
+    "class_all",
+    "class_any",
+]
+
+#: Bits per word of the packed representation.
+WORD_BITS = 64
+
+#: Explicit little-endian uint64: the byte layout of a word array is defined
+#: identically on every platform, so ``tobytes``/``frombuffer`` round-trips
+#: agree with ``int.to_bytes(..., "little")``.
+if HAVE_NUMPY:
+    WORD_DTYPE = np.dtype("<u8")
+    _ONE = np.uint64(1)
+    _SIXTY_THREE = np.uint64(63)
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:  # pragma: no cover - the container bakes numpy in
+        raise RuntimeError(
+            "the word-array kernel requires numpy; use the int-bitmask path "
+            "(ModelChecker(system, backend='int'), check_safety(scan='per-point'))")
+
+
+def word_count(num_points: int) -> int:
+    """Words needed to hold ``num_points`` bits."""
+    return (num_points + WORD_BITS - 1) // WORD_BITS
+
+
+def full_words(num_points: int) -> "npt.NDArray":
+    """The word array with every one of the ``num_points`` bits set.
+
+    The tail bits of the last word (when ``num_points % 64 != 0``) are zero —
+    this is the canonical form every kernel maintains, so word-wise equality
+    is set equality.
+    """
+    _require_numpy()
+    words = np.full(word_count(num_points), np.uint64(0xFFFFFFFFFFFFFFFF),
+                    dtype=WORD_DTYPE)
+    tail = num_points % WORD_BITS
+    if tail and len(words):
+        words[-1] = np.uint64((1 << tail) - 1)
+    return words
+
+
+def zero_words(num_points: int) -> "npt.NDArray":
+    """The empty set as a word array over ``num_points`` points."""
+    _require_numpy()
+    return np.zeros(word_count(num_points), dtype=WORD_DTYPE)
+
+
+def mask_to_words(mask: int, num_points: int) -> "npt.NDArray":
+    """Convert an ``int`` bitmask over ``num_points`` points to a word array."""
+    _require_numpy()
+    if mask < 0:
+        raise ValueError("a point-set mask must be non-negative")
+    if mask.bit_length() > num_points:
+        raise ValueError(
+            f"mask has bit {mask.bit_length() - 1} set but the system only has "
+            f"{num_points} points")
+    data = mask.to_bytes(word_count(num_points) * 8, "little")
+    return np.frombuffer(data, dtype=WORD_DTYPE).copy()
+
+
+def words_to_mask(words: "npt.NDArray") -> int:
+    """Convert a (canonical, tail-clean) word array back to an ``int`` bitmask."""
+    return int.from_bytes(np.ascontiguousarray(words, dtype=WORD_DTYPE).tobytes(),
+                          "little")
+
+
+def unpack_words(words: "npt.NDArray", num_points: int) -> "npt.NDArray":
+    """Per-point 0/1 ``uint8`` vector of a word array (tail bits dropped)."""
+    as_bytes = np.ascontiguousarray(words, dtype=WORD_DTYPE).view(np.uint8)
+    return np.unpackbits(as_bytes, bitorder="little")[:num_points]
+
+
+def pack_bits(bits: "npt.NDArray") -> "npt.NDArray":
+    """Pack a per-point 0/1 (or bool) vector into a canonical word array.
+
+    The inverse of :func:`unpack_words`: the tail bits of the last word are
+    zero, so the result compares word-wise with every other canonical array.
+    """
+    packed = np.packbits(bits, bitorder="little")
+    nbytes = word_count(len(bits)) * 8
+    if packed.nbytes != nbytes:
+        padded = np.zeros(nbytes, dtype=np.uint8)
+        padded[:packed.nbytes] = packed
+        packed = padded
+    return packed.view(WORD_DTYPE)
+
+
+def indices_of_words(words: "npt.NDArray", num_points: int) -> "npt.NDArray":
+    """The sorted dense point indices of the set bits (vectorized recovery).
+
+    This is the ``np.nonzero``-style replacement for iterating a Python int
+    bit by bit: counterexample extraction and the safety scan's violation
+    reporting recover their points through it, which also pins the dense-index
+    (run-major, time-minor) ordering guarantee.
+    """
+    return np.nonzero(unpack_words(words, num_points))[0]
+
+
+def indices_of_mask(mask: int) -> "npt.NDArray":
+    """The sorted dense point indices of an ``int`` bitmask's set bits.
+
+    Only the bytes up to the mask's highest set bit are materialised, so
+    converting the (sparse, variable-length) interned class masks of a big
+    system costs memory proportional to the ints themselves.
+    """
+    _require_numpy()
+    if mask < 0:
+        raise ValueError("a point-set mask must be non-negative")
+    if mask == 0:
+        return np.empty(0, dtype=np.int64)
+    data = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+    return np.nonzero(bits)[0]
+
+
+def shift_down_words(words: "npt.NDArray") -> "npt.NDArray":
+    """``mask >> 1`` over the packed array: bit ``p`` receives bit ``p + 1``.
+
+    Pure shift with cross-word carries; callers apply the same final-time
+    masking as the ``int`` path to stop run segments leaking into each other.
+    """
+    out = words >> _ONE
+    if len(words) > 1:
+        out[:-1] |= words[1:] << _SIXTY_THREE
+    return out
+
+
+def shift_up_words(words: "npt.NDArray", full: "npt.NDArray") -> "npt.NDArray":
+    """``(mask << 1) & full`` over the packed array: bit ``p`` receives bit ``p - 1``.
+
+    ``full`` (from :func:`full_words`) clips the bit shifted past the last
+    point, keeping the array canonical.
+    """
+    out = words << _ONE
+    if len(words) > 1:
+        out[1:] |= words[:-1] >> _SIXTY_THREE
+    out &= full
+    return out
+
+
+def class_all(class_ids: "npt.NDArray", num_classes: int,
+              member_bits: "npt.NDArray") -> "npt.NDArray":
+    """Per-point bool: does *every* point of this point's class satisfy ``member_bits``?
+
+    ``class_ids`` maps each point to its equivalence-class id; the reduction
+    is one ``np.bincount`` over the failing points.  This is exactly the
+    ``K_i`` sweep: a class whose every point satisfies the operand contributes
+    wholesale, any other class not at all.
+    """
+    failing = np.bincount(class_ids[member_bits == 0], minlength=num_classes)
+    return (failing == 0)[class_ids]
+
+
+def class_any(class_ids: "npt.NDArray", num_classes: int,
+              member_bits: "npt.NDArray") -> "npt.NDArray":
+    """Per-point bool: does *some* point of this point's class satisfy ``member_bits``?
+
+    The existential dual of :func:`class_all` — the "some indistinguishable
+    point with property X" witnesses of the Definition 6.2 safety clauses.
+    """
+    hits = np.bincount(class_ids[member_bits != 0], minlength=num_classes)
+    return (hits > 0)[class_ids]
+
+
+def masks_to_matrix(masks: Tuple[int, ...], num_points: int) -> "npt.NDArray":
+    """Stack ``int`` class masks into a dense ``(num_classes, num_words)`` array.
+
+    The word-array view of an agent's interned class masks: row ``c`` is class
+    ``c``'s membership mask.  Dense is only sensible while the class count is
+    small (the ``K_i`` sweep caps it at :data:`DENSE_CLASS_LIMIT` and falls
+    back to the :func:`class_all` reduction beyond that).
+    """
+    _require_numpy()
+    nwords = word_count(num_points)
+    matrix = np.zeros((len(masks), nwords), dtype=WORD_DTYPE)
+    for row, mask in enumerate(masks):
+        if mask:
+            data = mask.to_bytes((mask.bit_length() + 63) // 64 * 8, "little")
+            chunk = np.frombuffer(data, dtype=WORD_DTYPE)
+            matrix[row, :len(chunk)] = chunk
+    return matrix
+
+
+#: Class-count ceiling for the dense ``(num_classes, num_words)`` ``K_i``
+#: sweep; above it the memory of the stacked matrix stops paying for itself
+#: and :class:`~repro.logic.semantics.ModelChecker` switches to the
+#: class-id / ``bincount`` reduction.  Module-level so tests can force either
+#: path.
+DENSE_CLASS_LIMIT = 64
+
+
+def class_ids_from_masks(masks: Tuple[int, ...], num_points: int) -> "npt.NDArray":
+    """Build the point-indexed class-id vector from interned ``int`` class masks.
+
+    The masks partition the point space, so every point gets exactly one id;
+    ids follow the masks' order (first appearance in system point order, per
+    :class:`~repro.systems.interpreted.AgentPartition`).
+    """
+    _require_numpy()
+    ids = np.zeros(num_points, dtype=np.int32)
+    covered = 0
+    for cid, mask in enumerate(masks):
+        indices = indices_of_mask(mask)
+        ids[indices] = cid
+        covered += len(indices)
+    if covered != num_points:
+        raise ValueError(
+            f"class masks cover {covered} of {num_points} points; they must "
+            f"partition the point space")
+    return ids
+
+
+def blocks(num_items: int, num_blocks: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_items)`` into at most ``num_blocks`` contiguous ranges.
+
+    The run-space sharding unit for the scan fan-out (each shard is a
+    contiguous run range, so shard results concatenate back in system order).
+    """
+    if num_items <= 0:
+        return []
+    count = max(1, min(num_blocks, num_items))
+    size = -(-num_items // count)
+    return [(start, min(start + size, num_items))
+            for start in range(0, num_items, size)]

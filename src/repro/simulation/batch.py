@@ -39,6 +39,11 @@ agent's interned local state, it can also emit the per-agent
 :class:`~repro.systems.interpreted.AgentPartition` structures for the finished
 system directly (:meth:`BatchSimulator.partitions`) — a run-major relabelling
 pass over precomputed class ids instead of re-hashing every local state.
+
+This module parallelises the *build* phase; its check-phase counterpart is
+:func:`repro.api.scans.scan_runs`, which shards per-run kernels over the
+finished system's run space through shared memory with the same
+byte-identical-to-serial contract.
 """
 
 from __future__ import annotations

@@ -5,19 +5,29 @@ preference vector, so it is a natural target for property-based testing: we
 draw random sending-omission adversaries and preference vectors and check the
 specification, the termination bound, 0-chain structure, and cross-protocol
 dominance invariants on the resulting runs.
+
+The word-array kernel behind the vectorized model checker gets the same
+treatment: arbitrary-width int-mask ↔ ``uint64``-word-array round-trips
+(non-multiple-of-64 widths included — the tail bits of the last word are the
+classic vectorization bug) and the ordering/limit contract of the vectorized
+``counterexamples()`` scan.
 """
 
 from __future__ import annotations
+
+import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import compare_traces, zero_chains
 from repro.exchange import CommGraph
-from repro.failures import FailurePattern
+from repro.failures import FailurePattern, SendingOmissionModel
+from repro.logic import ModelChecker, words
 from repro.protocols import BasicProtocol, MinProtocol, OptimalFipProtocol
 from repro.simulation import simulate
 from repro.spec import check_eba
+from repro.systems import build_system
 
 # ---------------------------------------------------------------------------- strategies
 
@@ -192,6 +202,112 @@ class TestCommGraphProperties:
             final = trace.state_of(agent, trace.horizon).graph
             known = final.known_faulty(agent, trace.horizon)
             assert known <= pattern.faulty
+
+
+# ---------------------------------------------------------------------------- word-array kernel
+
+
+@st.composite
+def masked_widths(draw, max_points=300):
+    """A random ``(num_points, mask)`` pair, biased toward awkward widths.
+
+    Widths straddle the 64-bit word boundaries (63, 64, 65, 127, 128, …) as
+    well as arbitrary sizes, so the last word's tail bits are exercised in
+    every alignment.
+    """
+    boundary = draw(st.booleans())
+    if boundary:
+        base = draw(st.sampled_from([1, 63, 64, 65, 127, 128, 129, 191, 192, 255, 256]))
+        num_points = min(base, max_points)
+    else:
+        num_points = draw(st.integers(min_value=1, max_value=max_points))
+    mask = draw(st.integers(min_value=0, max_value=(1 << num_points) - 1))
+    return num_points, mask
+
+
+class TestWordArrayRoundTrip:
+    """int mask ↔ uint64 word array conversions are lossless at every width."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(pair=masked_widths())
+    def test_mask_words_round_trip_is_lossless(self, pair):
+        num_points, mask = pair
+        array = words.mask_to_words(mask, num_points)
+        assert len(array) == words.word_count(num_points)
+        assert words.words_to_mask(array) == mask
+        # Canonical form: no garbage in the tail bits of the last word, so
+        # masking with the full set is the identity.
+        assert words.words_to_mask(array & words.full_words(num_points)) == mask
+
+    @settings(max_examples=120, deadline=None)
+    @given(pair=masked_widths())
+    def test_bit_vector_round_trip_is_lossless(self, pair):
+        num_points, mask = pair
+        array = words.mask_to_words(mask, num_points)
+        bits = words.unpack_words(array, num_points)
+        assert len(bits) == num_points
+        assert all(int(bits[i]) == ((mask >> i) & 1) for i in range(num_points))
+        assert words.words_to_mask(words.pack_bits(bits)) == mask
+
+    @settings(max_examples=120, deadline=None)
+    @given(pair=masked_widths())
+    def test_index_recovery_matches_int_bit_iteration(self, pair):
+        num_points, mask = pair
+        array = words.mask_to_words(mask, num_points)
+        expected = [i for i in range(num_points) if (mask >> i) & 1]
+        assert list(words.indices_of_words(array, num_points)) == expected
+        assert list(words.indices_of_mask(mask)) == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(pair=masked_widths())
+    def test_complement_and_shifts_agree_with_int_semantics(self, pair):
+        num_points, mask = pair
+        array = words.mask_to_words(mask, num_points)
+        full_array = words.full_words(num_points)
+        full_mask = (1 << num_points) - 1
+        assert words.words_to_mask(full_array & ~array) == full_mask & ~mask
+        assert words.words_to_mask(words.shift_down_words(array)) == mask >> 1
+        assert words.words_to_mask(words.shift_up_words(array, full_array)) \
+            == (mask << 1) & full_mask
+
+
+@pytest.fixture(scope="module")
+def counterexample_system():
+    """One small system with both backend checkers, for the scan properties."""
+    model = SendingOmissionModel(n=3, t=1)
+    patterns = list(model.enumerate(2))[:8]
+    system = build_system(MinProtocol(1), 3, 2, patterns)
+    return (system,
+            ModelChecker(system, backend="int"),
+            ModelChecker(system, backend="words"))
+
+
+class TestCounterexampleScanProperties:
+    """Ordering/limit invariants of the vectorized ``counterexamples()``."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           limit=st.integers(min_value=0, max_value=80))
+    def test_ordering_limit_and_backend_agreement(self, counterexample_system,
+                                                  seed, limit):
+        from test_logic_bitset_reference import random_formula
+
+        system, int_checker, word_checker = counterexample_system
+        formula = random_formula(random.Random(seed), system.n, system.horizon,
+                                 depth=3)
+        result = word_checker.counterexamples(formula, limit=limit)
+        # Limit: never more than asked for, and exactly the failing-point
+        # count when that is smaller.
+        failing_total = system.num_points - bin(
+            word_checker.satisfying_mask(formula)).count("1")
+        assert len(result) == min(limit, failing_total)
+        # Ordering: strictly increasing dense indices — sorted, no duplicates.
+        indices = [system.point_index(point) for point in result]
+        assert indices == sorted(set(indices))
+        # Every reported point really fails, per both backends.
+        assert all(not word_checker.holds(formula, point) for point in result)
+        # The vectorized recovery agrees with the int-path extraction exactly.
+        assert result == int_checker.counterexamples(formula, limit=limit)
 
 
 class TestFailurePatternProperties:

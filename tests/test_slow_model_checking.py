@@ -3,13 +3,20 @@
 Run them with ``pytest -m slow`` (CI runs them on a schedule and on manual
 dispatch).  The Theorem 6.5 / 6.6 implementation checks at n = 4 used to live
 here; the bitset model-checking core made them fast enough for tier-1, so they
-moved to ``test_model_checking_n4.py``.  What remains are the checks that scan
-every one of the ~131k points with per-point Python logic (program equivalence
-over both limited contexts, the Definition 6.2 safety condition) — plus the
-first n = 5 theorem check, a 655 392-run / 2 621 568-point system that the
-batched round-major construction engine (:mod:`repro.simulation.batch`) made
-reachable at all: its cold build costs about what the n = 4 *per-run* build
-used to.
+moved to ``test_model_checking_n4.py``.  The tier now covers, at n = 5
+(655 392-run / 2 621 568-point systems that the batched round-major
+construction engine made reachable at all):
+
+* **Theorem 6.5** — ``P_min`` implements ``P0`` in γ_min(5, 1);
+* **Theorem 6.6** — ``P_basic`` implements ``P0`` in γ_basic(5, 1); and
+* the **Definition 6.2 safety condition** for both canonical
+  implementations, via the vectorized word-array scan
+  (``check_safety(scan="vector")``) — the per-point scan extrapolates to
+  hours at this size, the vectorized one finishes in about a minute.
+
+The n = 4 remainder (program equivalence over both limited contexts, the
+safety condition under the default scan) and the n = 3 general-omission
+theorem table round out the tier.
 """
 
 import pytest
@@ -60,6 +67,44 @@ class TestTheorem65AtN5:
         report = check_implements(MinProtocol(1), make_p0(5), context, system=system)
         assert report.ok, report.mismatches
         assert report.checked_states > 0
+
+
+class TestTheorem66AtN5:
+    """Theorem 6.6 over the full γ_basic system at n = 5, t = 1.
+
+    Open until the word-array model-checker backend landed: the check anchors
+    one ``K_i`` evaluation per interned class, and the vectorized class-mask
+    sweeps bring the whole check (build + guard evaluation over 655 392 runs)
+    to under a minute on the development container.
+    """
+
+    def test_p_basic_implements_p0_in_gamma_basic_5_1(self):
+        context = gamma_basic(5, 1)
+        system = context.build_system(BasicProtocol(1))
+        assert len(system.runs) == 655_392
+        report = check_implements(BasicProtocol(1), make_p0(5), context, system=system)
+        assert report.ok, report.mismatches
+        assert report.checked_states > 0
+
+
+class TestSafetyConditionAtN5:
+    """The Definition 6.2 safety scan at n = 5, t = 1 (Proposition 6.4's regime).
+
+    Open until the vectorized scan landed: the per-point scan walks 2.6M
+    points × 5 agents through nested class sweeps (extrapolating to hours),
+    while the word-array scan reduces each clause to shift pipelines and
+    per-class ``bincount`` reductions over the whole system at once.
+    """
+
+    def test_p0_safe_in_gamma_min_5_1(self):
+        report = check_safety(MinProtocol(1), gamma_min(5, 1), scan="vector")
+        assert report.safe, report.violations
+        assert report.points_checked == 2_621_568
+
+    def test_p0_safe_in_gamma_basic_5_1(self):
+        report = check_safety(BasicProtocol(1), gamma_basic(5, 1), scan="vector")
+        assert report.safe, report.violations
+        assert report.points_checked == 2_621_568
 
 
 class TestGeneralOmissionTheoremsAtN3:
