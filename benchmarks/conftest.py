@@ -6,6 +6,9 @@ The benchmarks assert the qualitative *shape* of each claim — who wins and by
 roughly what factor — and time the experiment driver that produces it.
 """
 
+import json
+import os
+
 import pytest
 
 
@@ -13,3 +16,31 @@ import pytest
 def medium_size():
     """The (n, t) used by the medium-sized benchmark runs."""
     return 10, 4
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the session's peak RSS and metrics snapshot for bench_summary.
+
+    ``tools/bench_summary.py`` runs each suite as its own pytest process with
+    ``REPRO_OBS_DUMP`` pointing at a temp file; recording here (inside the
+    measured process, after every benchmark ran) is what makes the numbers
+    attributable to one suite.
+    """
+    dump_path = os.environ.get("REPRO_OBS_DUMP")
+    if not dump_path:
+        return
+    import resource
+
+    from repro.obs.metrics import REGISTRY
+
+    payload = {
+        # Linux reports ru_maxrss in KiB (macOS in bytes; the consumer only
+        # compares like with like, so the unit just travels with the key).
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "metrics": REGISTRY.snapshot(),
+    }
+    try:
+        with open(dump_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+    except OSError:
+        pass

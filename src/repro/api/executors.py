@@ -37,10 +37,17 @@ from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from ..core.errors import ConfigurationError
 from ..failures.pattern import FailurePattern
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.bus import BUS, ProgressReporter
 from ..protocols.base import ActionProtocol
 from ..simulation.batch import BatchTask, execute_batch, execute_batches
 from ..simulation.engine import simulate
 from ..simulation.trace import RunTrace
+
+_POOL_REBUILDS = _metrics.counter(
+    "repro_pool_rebuilds_total",
+    "Broken process pools rebuilt mid-sweep by ParallelExecutor")
 
 #: The pure-data description of one simulation run:
 #: ``(protocol, n, preferences, pattern, horizon)``.
@@ -58,13 +65,24 @@ def execute_task(task: RunTask) -> RunTrace:
 
 
 def _execute_task_chunk(tasks: Sequence[RunTask]) -> List[RunTrace]:
-    """One pool work item: a contiguous chunk of run tasks, in order."""
-    return [execute_task(task) for task in tasks]
+    """One pool work item: a contiguous chunk of run tasks, in order.
+
+    Runs worker-side: the span (when tracing is on — fork children inherit
+    the enabled tracer) lands in the same trace file as the parent's, under
+    the child's pid.
+    """
+    if not _trace.is_active():
+        return [execute_task(task) for task in tasks]
+    with _trace.span("exec.chunk", "exec", {"tasks": len(tasks)}):
+        return [execute_task(task) for task in tasks]
 
 
 def _execute_batch_chunk(batches: Sequence[BatchTask]) -> List[RunTrace]:
     """One pool work item: a contiguous chunk of batch tasks, in order."""
-    return execute_batches(batches)
+    if not _trace.is_active():
+        return execute_batches(batches)
+    with _trace.span("exec.chunk", "exec", {"batches": len(batches)}):
+        return execute_batches(batches)
 
 
 @runtime_checkable
@@ -159,30 +177,48 @@ class ParallelExecutor:
         from concurrent.futures import ProcessPoolExecutor, as_completed
         from concurrent.futures.process import BrokenProcessPool
 
-        results: List[Optional[list]] = [None] * len(chunks)
-        pending = list(range(len(chunks)))
-        rebuilds = 0
-        while pending:
-            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                futures = {pool.submit(function, chunks[index]): index
-                           for index in pending}
-                for future in as_completed(futures):
-                    index = futures[future]
-                    try:
-                        results[index] = future.result()
-                    except BrokenProcessPool:
-                        # The pool marks every unfinished future with this
-                        # error; keep draining so completed chunks are kept.
-                        pass
-            pending = [index for index in pending if results[index] is None]
-            if pending:
-                rebuilds += 1
-                if rebuilds > self.pool_retries:
-                    raise BrokenProcessPool(
-                        f"process pool died {rebuilds} time(s) with "
-                        f"{len(pending)} chunk(s) unfinished; giving up "
-                        f"(pool_retries={self.pool_retries})")
-        return results  # type: ignore[return-value]  # every slot filled
+        fanout_span = _trace.NOOP
+        if _trace.is_active():
+            fanout_span = _trace.span("exec.map_chunks", "exec",
+                                      {"chunks": len(chunks),
+                                       "workers": workers})
+        reporter = None
+        if BUS.has_subscribers("progress"):
+            reporter = ProgressReporter("parallel", total=len(chunks),
+                                        unit="chunks")
+        with fanout_span as span:
+            results: List[Optional[list]] = [None] * len(chunks)
+            pending = list(range(len(chunks)))
+            rebuilds = 0
+            while pending:
+                with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                    futures = {pool.submit(function, chunks[index]): index
+                               for index in pending}
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        try:
+                            results[index] = future.result()
+                            if reporter is not None:
+                                reporter.advance()
+                        except BrokenProcessPool:
+                            # The pool marks every unfinished future with this
+                            # error; keep draining so completed chunks are kept.
+                            pass
+                pending = [index for index in pending if results[index] is None]
+                if pending:
+                    rebuilds += 1
+                    _POOL_REBUILDS.inc()
+                    _trace.event("exec.pool_rebuild", "exec",
+                                 {"pending": len(pending)})
+                    BUS.emit("pool.rebuild", pending=len(pending))
+                    if rebuilds > self.pool_retries:
+                        raise BrokenProcessPool(
+                            f"process pool died {rebuilds} time(s) with "
+                            f"{len(pending)} chunk(s) unfinished; giving up "
+                            f"(pool_retries={self.pool_retries})")
+            if rebuilds:
+                span.set("rebuilds", rebuilds)
+            return results  # type: ignore[return-value]  # every slot filled
 
     def run_tasks(self, tasks: Sequence[RunTask]) -> List[RunTrace]:
         tasks = list(tasks)

@@ -34,6 +34,7 @@ import multiprocessing
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..logic import words as _words
+from ..obs import trace as _trace
 from ..systems.interpreted import InterpretedSystem
 
 __all__ = ["ScanKernel", "scan_runs", "fork_available"]
@@ -64,7 +65,14 @@ def _worker(item: Tuple[str, Tuple[int, ...], str, int, int]) -> Tuple[int, int]
 
     shm_name, total_shape, dtype_str, start, stop = item
     system, kernel = _SCAN_STATE  # type: ignore[misc]  # set pre-fork
-    rows = np.asarray(kernel(system, start, stop), dtype=np.dtype(dtype_str))
+    shard_span = _trace.NOOP
+    if _trace.is_active():
+        # Forked worker: the inherited tracer reopens the sink under this
+        # pid, so shard spans merge into the parent's trace file.
+        shard_span = _trace.span("scan.shard", "exec",
+                                 {"start": start, "stop": stop})
+    with shard_span:
+        rows = np.asarray(kernel(system, start, stop), dtype=np.dtype(dtype_str))
     expected = (stop - start,) + tuple(total_shape[1:])
     if rows.shape != expected:
         raise ValueError(
@@ -111,34 +119,40 @@ def scan_runs(system: InterpretedSystem, kernel: ScanKernel, *,
         or not _words.HAVE_NUMPY
         or not fork_available()
     )
-    if serial:
-        result = kernel(system, 0, num_runs)
-        if _words.HAVE_NUMPY:
-            import numpy as np
-            return np.asarray(result, dtype=np.dtype(dtype))
-        return result
+    scan_span = _trace.NOOP
+    if _trace.is_active():
+        scan_span = _trace.span("scan.runs", "exec", {
+            "runs": num_runs, "workers": workers, "serial": serial})
+    with scan_span as span:
+        if serial:
+            result = kernel(system, 0, num_runs)
+            if _words.HAVE_NUMPY:
+                import numpy as np
+                return np.asarray(result, dtype=np.dtype(dtype))
+            return result
 
-    from multiprocessing import shared_memory
+        from multiprocessing import shared_memory
 
-    import numpy as np
+        import numpy as np
 
-    total_shape = (num_runs,) + tuple(row_shape)
-    dt = np.dtype(dtype)
-    nbytes = max(1, int(np.prod(total_shape)) * dt.itemsize)
-    shards = _words.blocks(num_runs, workers * 4)
-    block = shared_memory.SharedMemory(create=True, size=nbytes)
-    try:
-        items = [(block.name, total_shape, dt.str, start, stop)
-                 for start, stop in shards]
-        _SCAN_STATE = (system, kernel)
+        total_shape = (num_runs,) + tuple(row_shape)
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(total_shape)) * dt.itemsize)
+        shards = _words.blocks(num_runs, workers * 4)
+        span.set("shards", len(shards))
+        block = shared_memory.SharedMemory(create=True, size=nbytes)
         try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(processes=min(workers, len(items))) as pool:
-                pool.map(_worker, items)
+            items = [(block.name, total_shape, dt.str, start, stop)
+                     for start, stop in shards]
+            _SCAN_STATE = (system, kernel)
+            try:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=min(workers, len(items))) as pool:
+                    pool.map(_worker, items)
+            finally:
+                _SCAN_STATE = None
+            shared = np.ndarray(total_shape, dtype=dt, buffer=block.buf)
+            return shared.copy()
         finally:
-            _SCAN_STATE = None
-        shared = np.ndarray(total_shape, dtype=dt, buffer=block.buf)
-        return shared.copy()
-    finally:
-        block.close()
-        block.unlink()
+            block.close()
+            block.unlink()

@@ -25,6 +25,8 @@ from typing import Iterable, Optional, Sequence, Tuple, TYPE_CHECKING
 from ..core.errors import ConfigurationError
 from ..core.types import PreferenceVector, validate_preferences
 from ..failures.pattern import FailurePattern
+from ..obs import trace as _trace
+from ..obs.bus import BUS
 from ..protocols.base import ActionProtocol
 from ..simulation.runner import Scenario
 from ..simulation.trace import RunTrace
@@ -36,22 +38,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .results import ResultSet
 
 
-#: Optional observer called by :meth:`SweepSpec.run` when a cached sweep is
-#: *partially* complete — i.e. the run is a resume, not a cold start — with
-#: ``(spec, remaining_tasks, total_tasks)``.  ``None`` (the default) is
-#: silent; the CLI installs a stderr reporter when ``--cache`` is on so
-#: ``repro-eba experiment ... --cache`` prints "resuming K of N runs".
+#: Deprecated single-purpose observer predating the :data:`repro.obs.bus.BUS`
+#: event bus.  When installed it is still called with ``(spec, remaining,
+#: total)`` on a partial resume — in addition to the ``sweep.resume`` bus
+#: event every resume now emits.  New code should subscribe to the bus.
 _RESUME_NOTIFIER: "Optional[Callable[[SweepSpec, int, int], None]]" = None
 
 
 def set_resume_notifier(callback) -> "Optional[Callable[[SweepSpec, int, int], None]]":
-    """Install the sweep-resume observer; returns the previous one.
+    """Install the legacy sweep-resume observer; returns the previous one.
 
-    Library code stays silent by default — printing belongs to entry points.
-    Pass ``None`` to uninstall.  The callback must not raise (it runs on the
-    sweep's hot path) and must not mutate the spec.
+    .. deprecated::
+        Subscribe to the ``"sweep.resume"`` event on
+        :data:`repro.obs.bus.BUS` instead — the bus carries the same
+        ``spec``/``remaining``/``total`` payload without claiming a single
+        global slot.  This shim keeps existing callers working: the installed
+        callback is invoked exactly as before (and a ``DeprecationWarning``
+        is emitted at install time).  Pass ``None`` to uninstall (silently).
     """
     global _RESUME_NOTIFIER
+    if callback is not None:
+        import warnings
+        warnings.warn(
+            "set_resume_notifier is deprecated; subscribe to the "
+            "'sweep.resume' event on repro.obs.bus.BUS instead",
+            DeprecationWarning, stacklevel=2)
     previous = _RESUME_NOTIFIER
     _RESUME_NOTIFIER = callback
     return previous
@@ -265,14 +276,23 @@ class SweepSpec:
             cached = resolved_store.get(spec_key)
             if cached is not None:
                 return cached
-            if _RESUME_NOTIFIER is not None:
+            if _RESUME_NOTIFIER is not None or BUS.has_subscribers("sweep.resume"):
                 remaining = len(self.missing_tasks(resolved_store))
                 if 0 < remaining < len(self):
-                    _RESUME_NOTIFIER(self, remaining, len(self))
+                    if _RESUME_NOTIFIER is not None:
+                        _RESUME_NOTIFIER(self, remaining, len(self))
+                    BUS.emit("sweep.resume", spec=self, remaining=remaining,
+                             total=len(self))
             runner: "Executor" = CachingExecutor(resolved_store, executor)
         else:
             runner = resolve_executor(executor)
-        traces = runner.run_tasks(self.tasks())
+        sweep_span = _trace.NOOP
+        if _trace.is_active():
+            sweep_span = _trace.span("sweep.run", "build", {
+                "protocols": list(self.protocol_names), "n": self.n,
+                "horizon": self.horizon, "tasks": len(self.tasks())})
+        with sweep_span:
+            traces = runner.run_tasks(self.tasks())
         per_protocol = []
         count = len(self.scenarios)
         for index in range(len(self.protocols)):

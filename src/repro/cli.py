@@ -55,8 +55,12 @@ import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .api import Executor, RunSpec, executor_from_flags, set_resume_notifier
+from .api import Executor, RunSpec, executor_from_flags
 from .core.errors import ReproError
+from .obs import trace as obs_trace
+from .obs.bus import BUS
+from .obs.logs import configure_logging
+from .obs.metrics import REGISTRY, render_table
 from .experiments import (
     agreement_violation,
     crash_comparison,
@@ -159,6 +163,12 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "store (repro.store) at its default location")
     parser.add_argument("--cache-dir", type=str, default=None, metavar="PATH",
                         help="like --cache, but store artifacts under PATH")
+    parser.add_argument("--trace", type=str, default=None, metavar="FILE",
+                        help="record a span trace of the command to FILE "
+                             "(JSONL; inspect with tools/trace_report.py)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the process metrics table to stderr when "
+                             "the command finishes")
 
 
 def _parse_preferences(text: str, n: int) -> List[int]:
@@ -202,7 +212,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     preferences, pattern = _build_scenario(args)
     spec = RunSpec(protocol=protocol, n=args.n, preferences=tuple(preferences),
                    pattern=pattern)
-    trace = spec.run(_make_executor(args), store=_make_store(args))
+    with _obs_flags(args):
+        trace = spec.run(_make_executor(args), store=_make_store(args))
     if args.show_rounds:
         print(render_run(trace))
     else:
@@ -222,8 +233,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1
 
 
-def _report_resume(spec, remaining: int, total: int) -> None:
-    """The sweep-resume notice ``--cache`` surfaces (installed per command)."""
+def _report_resume(event: dict) -> None:
+    """The sweep-resume notice ``--cache`` surfaces (subscribed per command)."""
+    remaining, total = event["remaining"], event["total"]
     done = total - remaining
     print(f"cache: resuming {remaining} of {total} runs "
           f"({done} already cached)", file=sys.stderr)
@@ -232,23 +244,47 @@ def _report_resume(spec, remaining: int, total: int) -> None:
 class _resume_reporting:
     """Context manager: surface partial-sweep resumes while a command runs.
 
-    Installed only when the command actually configured a store — the library
-    itself never prints — and always uninstalled on the way out so embedding
-    callers (tests, the service) are unaffected.
+    Subscribed to the observer bus's ``sweep.resume`` events only when the
+    command actually configured a store — the library itself never prints —
+    and always unsubscribed on the way out so embedding callers (tests, the
+    service) are unaffected.
     """
 
     def __init__(self, store: Optional[ArtifactStore]) -> None:
         self._active = store is not None
-        self._previous = None
 
     def __enter__(self) -> "_resume_reporting":
         if self._active:
-            self._previous = set_resume_notifier(_report_resume)
+            BUS.subscribe("sweep.resume", _report_resume)
         return self
 
     def __exit__(self, *exc_info) -> None:
         if self._active:
-            set_resume_notifier(self._previous)
+            BUS.unsubscribe("sweep.resume", _report_resume)
+
+
+class _obs_flags:
+    """Context manager: honour ``--trace FILE`` / ``--metrics`` for one command.
+
+    Tracing is enabled for exactly the command's duration (and always disabled
+    on the way out, even on error); the metrics table renders to stderr last,
+    so it reflects everything the command did.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self._trace_path = getattr(args, "trace", None)
+        self._metrics = getattr(args, "metrics", False)
+
+    def __enter__(self) -> "_obs_flags":
+        if self._trace_path:
+            obs_trace.enable(self._trace_path)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._trace_path:
+            obs_trace.disable()
+        if self._metrics:
+            print(render_table(REGISTRY.snapshot()), file=sys.stderr)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -258,7 +294,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     _description, runner = EXPERIMENTS[key]
     store = _make_store(args)
-    with _resume_reporting(store):
+    with _obs_flags(args), _resume_reporting(store):
         print(runner(args.n, args.t, _make_executor(args), store))
     return 0
 
@@ -272,7 +308,7 @@ def _cmd_failure_models(args: argparse.Namespace) -> int:
         if args.model not in models:
             models.append(args.model)
     store = _make_store(args)
-    with _resume_reporting(store):
+    with _obs_flags(args), _resume_reporting(store):
         print(failure_model_comparison.report(
             n=args.n,
             t=args.t,
@@ -378,6 +414,7 @@ def _cache_missing(args: argparse.Namespace, store: ArtifactStore, location) -> 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the job server (:mod:`repro.service`) in the foreground."""
     from .service import JobServer
+    configure_logging(args.log_level)
     store = _make_store(args)
     if store is None:
         # No cache flags: coalesce and re-serve within this server's lifetime,
@@ -401,10 +438,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{recovered.get('done', 0)} done, {recovered.get('failed', 0)} failed, "
               f"{recovered.get('requeued', 0)} requeued)")
     print("endpoints: POST /jobs | GET /jobs/<id> | GET /jobs/<id>/result | "
-          "POST /jobs/<id>/cancel | GET /healthz | GET /stats")
+          "POST /jobs/<id>/cancel | GET /healthz | GET /stats | GET /metrics")
     print("Ctrl-C stops the server gracefully")
     sys.stdout.flush()
-    server.serve_until_interrupt()
+    with _obs_flags(args):
+        server.serve_until_interrupt()
     print("server stopped; goodbye")
     return 0
 
@@ -449,6 +487,33 @@ def _print_submit_result(payload: dict) -> int:
     return 0 if payload["holds"] else 1
 
 
+def _make_progress_printer() -> Callable[[dict], None]:
+    """A ``ServiceClient.wait`` progress callback rendering to stderr.
+
+    The server already throttles progress updates, but polling re-reads the
+    same snapshot; only a *changed* line is printed.
+    """
+    last: List[str] = [""]
+
+    def on_progress(status: dict) -> None:
+        progress = status.get("progress") or {}
+        parts = [f"progress: {progress.get('phase', 'working')}"]
+        done, total = progress.get("done"), progress.get("total")
+        if done is not None and total:
+            parts.append(f"{done}/{total}")
+            if progress.get("unit"):
+                parts.append(str(progress["unit"]))
+        eta = progress.get("eta")
+        if eta is not None:
+            parts.append(f"(eta {eta:.0f}s)")
+        line = " ".join(parts)
+        if line != last[0]:
+            last[0] = line
+            print(line, file=sys.stderr)
+
+    return on_progress
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     """Submit a job to a running server; optionally wait for the result."""
     from .service import ServiceClient
@@ -462,8 +527,26 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(receipt["job"])
         return 0
     payload = client.wait(receipt["job"], poll_interval=args.poll,
-                          timeout=args.timeout)
+                          timeout=args.timeout,
+                          on_progress=_make_progress_printer())
     return _print_submit_result(payload)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Show the metrics registry — this process's, or a running server's."""
+    if args.url is not None:
+        from .service import ServiceClient
+        snapshot = ServiceClient(args.url, timeout=args.http_timeout).metrics()
+    else:
+        # Importing the service layer registers its metric families, so a
+        # fresh process still reports the complete registry (zeros included).
+        from . import service as _service  # noqa: F401
+        snapshot = REGISTRY.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_table(snapshot))
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -593,6 +676,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="retry budget for retryable job failures — "
                                    "timeouts, transient IO, dead worker processes "
                                    "(default 0: fail on the first error)")
+    serve_parser.add_argument("--log-level", type=str, default="warning",
+                              choices=["debug", "info", "warning", "error"],
+                              help="threshold for the repro.* logging hierarchy "
+                                   "on stderr (default: warning)")
     _add_backend_arguments(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 
@@ -639,6 +726,18 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--theorem", choices=list(THEOREMS), default="6.5",
                                help="which implementation theorem for 'theorem'")
     submit_parser.set_defaults(handler=_cmd_submit)
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="show the unified metrics registry (local or from a server)")
+    obs_parser.add_argument("--url", type=str, default=None,
+                            help="scrape a running server's /metrics instead of "
+                                 "this process's registry")
+    obs_parser.add_argument("--json", action="store_true",
+                            help="print the JSON snapshot instead of the table")
+    obs_parser.add_argument("--http-timeout", type=float, default=10.0,
+                            help="per-request HTTP timeout for --url (default 10)")
+    obs_parser.set_defaults(handler=_cmd_obs)
 
     list_parser = subparsers.add_parser("list", help="list experiments and protocols")
     list_parser.set_defaults(handler=_cmd_list)

@@ -40,6 +40,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Optional
 
 from ..core.errors import ModelCheckingError
+from ..obs import trace as _trace
 from ..systems.interpreted import InterpretedSystem
 from ..systems.points import Point, PointSet
 from . import words as _words
@@ -118,6 +119,14 @@ class ModelChecker:
         if mask is None:
             if self.backend == "words":
                 mask = _words.words_to_mask(self.satisfying_words(formula))
+            elif _trace.is_active():
+                # Guarded: the disabled path must not allocate the attrs
+                # dict per cache miss (this is the checker's hot loop).
+                with _trace.span("mc.eval", "check", {
+                        "constructor": type(formula).__name__,
+                        "backend": self.backend}) as span:
+                    mask = self._evaluate(formula)
+                    span.set("cardinality", mask.bit_count())
             else:
                 mask = self._evaluate(formula)
             self._cache[formula] = mask
@@ -131,7 +140,15 @@ class ModelChecker:
                 "use satisfying_mask")
         result = self._wcache.get(formula)
         if result is None:
-            result = self._evaluate_words(formula)
+            if _trace.is_active():
+                with _trace.span("mc.eval", "check", {
+                        "constructor": type(formula).__name__,
+                        "backend": self.backend}) as span:
+                    result = self._evaluate_words(formula)
+                    span.set("cardinality", int(
+                        _words.unpack_words(result, self.system.num_points).sum()))
+            else:
+                result = self._evaluate_words(formula)
             self._wcache[formula] = result
         return result
 

@@ -1,0 +1,407 @@
+"""Span-based tracing with a JSONL sink (``--trace FILE``).
+
+A *span* is one timed region of work — a system build, one model-checker
+constructor evaluation, a job's queue wait — with a name, a category, a
+monotonic start/duration, and free-form JSON-safe attributes.  Spans nest via
+a thread-local stack (entering a span makes it the parent of spans opened on
+the same thread until it exits), and every completed span is appended to the
+trace file as one JSON line, so a crash mid-run loses at most the spans still
+open.
+
+Design constraints, in order:
+
+* **Disabled must be free.**  Tracing is off by default; the enabled check is
+  one module-global comparison, and :func:`span` returns a shared no-op
+  singleton — no object allocation, no clock read, no branch in ``__exit__``
+  beyond returning.  Hot loops that would otherwise build an attribute dict
+  per iteration guard on :func:`is_active` first.
+* **Fork-merges into one trace.**  ``ParallelExecutor`` and ``scan_runs``
+  fan work out over forked children, which inherit the enabled tracer.  The
+  sink is opened in append mode and every record is written as one
+  ``write()`` of a complete line followed by a flush, so concurrent writers
+  interleave at line granularity (POSIX ``O_APPEND`` semantics) and the
+  parent's file ends up holding every process's spans.  A tracer that
+  notices ``os.getpid()`` changed reopens its handle, so a child never
+  double-flushes buffered parent bytes.  Span ids are unique per ``(pid,
+  id)``; timestamps are ``time.monotonic()``, which on Linux is
+  ``CLOCK_MONOTONIC`` — shared across fork children, so child spans land on
+  the parent's timeline.
+* **The schema is pinned.**  One record per line, sorted keys, schema version
+  :data:`SCHEMA_VERSION`; see :func:`validate_record`.  ``tools/
+  trace_report.py`` and the golden file in ``tests/data/`` both consume it.
+
+Record shapes::
+
+    {"type": "meta", "version": 1, "pid": ..., "tid": ...,
+     "unix_ts": ..., "monotonic_ts": ...}          # one per process
+    {"type": "span" | "event", "name": ..., "cat": ..., "ts": ...,
+     "dur": ..., "pid": ..., "tid": ..., "id": ..., "parent": ...,
+     "attrs": {...}}
+
+``meta`` anchors the monotonic clock to wall time once per writing process;
+``event`` is an instant (``dur == 0.0``).  ``parent`` is the enclosing span's
+``id`` in the same process (or ``null`` at top level).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION", "Tracer", "enable", "disable", "is_active", "span",
+    "event", "complete", "traced", "validate_record", "validate_trace",
+    "read_trace", "NOOP",
+]
+
+#: Bumped whenever a record key is added, removed, or renamed.
+SCHEMA_VERSION = 1
+
+#: Exactly the keys of a span/event record, in canonical order.
+SPAN_KEYS = ("type", "name", "cat", "ts", "dur", "pid", "tid", "id",
+             "parent", "attrs")
+
+#: Exactly the keys of a per-process meta record.
+META_KEYS = ("type", "version", "pid", "tid", "unix_ts", "monotonic_ts")
+
+
+class Tracer:
+    """One JSONL trace sink; usually managed through :func:`enable`.
+
+    Thread-safe (one lock around the handle) and fork-aware: the first emit
+    after a ``fork`` reopens the file in append mode under the child's pid
+    and writes a fresh ``meta`` anchor line.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path).expanduser()
+        self._lock = threading.Lock()
+        self._handle = None
+        self._pid: Optional[int] = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ ids
+
+    def next_id(self) -> int:
+        """A process-locally unique span id (global uniqueness is ``(pid, id)``:
+        a forked child inherits the counter value and continues from it)."""
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    # ------------------------------------------------------------------ sink
+
+    def _ensure_handle_locked(self) -> None:
+        pid = os.getpid()
+        if self._handle is not None and self._pid == pid:
+            return
+        if self._handle is not None:
+            # Forked child: drop the inherited handle (its buffer is empty —
+            # every write is flushed — so closing cannot replay parent bytes).
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._pid = pid
+        meta = {
+            "type": "meta",
+            "version": SCHEMA_VERSION,
+            "pid": pid,
+            "tid": threading.get_ident(),
+            "unix_ts": time.time(),
+            "monotonic_ts": time.monotonic(),
+        }
+        self._handle.write(json.dumps(meta, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def emit(self, rtype: str, name: str, cat: str, ts: float, dur: float,
+             span_id: int, parent: Optional[int],
+             attrs: Optional[Dict[str, Any]]) -> None:
+        """Append one record; write failures are swallowed (tracing must never
+        break the traced computation)."""
+        record = {
+            "type": rtype,
+            "name": name,
+            "cat": cat,
+            "ts": round(ts, 7),
+            "dur": round(dur, 7),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "id": span_id,
+            "parent": parent,
+            "attrs": attrs if attrs is not None else {},
+        }
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            try:
+                self._ensure_handle_locked()
+                self._handle.write(line)
+                self._handle.flush()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+                self._pid = None
+
+
+# ---------------------------------------------------------------------- state
+
+_TRACER: Optional[Tracer] = None
+_LOCAL = threading.local()
+
+
+def _stack() -> List[int]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def enable(path: "str | os.PathLike[str]") -> Tracer:
+    """Start tracing into ``path`` (appending); returns the active tracer."""
+    global _TRACER
+    disable()
+    _TRACER = Tracer(path)
+    return _TRACER
+
+
+def disable() -> None:
+    """Stop tracing and close the sink (idempotent)."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    if tracer is not None:
+        tracer.close()
+
+
+def is_active() -> bool:
+    """Whether a tracer is installed.  Hot loops guard attribute-dict
+    construction on this, keeping the disabled path allocation-free."""
+    return _TRACER is not None
+
+
+# ---------------------------------------------------------------------- spans
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+#: The singleton no-op span: ``span(...)`` returns *this exact object* while
+#: tracing is disabled, so the disabled path allocates nothing.
+NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span: context manager recording one line on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "attrs", "_start", "_id", "_parent")
+
+    def __init__(self, tracer: Tracer, name: str, cat: str,
+                 attrs: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.attrs = attrs
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute discovered mid-span (e.g. a result cardinality)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def __enter__(self) -> "_Span":
+        stack = _stack()
+        self._parent = stack[-1] if stack else None
+        self._id = self._tracer.next_id()
+        stack.append(self._id)
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.monotonic()
+        stack = _stack()
+        if stack and stack[-1] == self._id:
+            stack.pop()
+        if exc_type is not None:
+            self.set("error", exc_type.__name__)
+        self._tracer.emit("span", self.name, self.cat, self._start,
+                          end - self._start, self._id, self._parent, self.attrs)
+        return False
+
+
+def span(name: str, cat: str = "", attrs: Optional[Dict[str, Any]] = None):
+    """A context-manager span; the :data:`NOOP` singleton when disabled.
+
+    Callers on hot paths should check :func:`is_active` *before* building
+    ``attrs``, so the disabled path stays allocation-free.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return NOOP
+    return _Span(tracer, name, cat, attrs)
+
+
+def event(name: str, cat: str = "",
+          attrs: Optional[Dict[str, Any]] = None) -> None:
+    """Record an instant event (``dur == 0``) under the current span."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    tracer.emit("event", name, cat, time.monotonic(), 0.0, tracer.next_id(),
+                parent, attrs)
+
+
+def complete(name: str, start: float, end: float, cat: str = "",
+             attrs: Optional[Dict[str, Any]] = None) -> None:
+    """Record a span retroactively from monotonic ``start``/``end`` stamps.
+
+    For regions whose endpoints live in different call frames — e.g. a job's
+    queue wait, stamped at submit and closed at worker pickup.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    tracer.emit("span", name, cat, start, max(0.0, end - start),
+                tracer.next_id(), parent, attrs)
+
+
+def traced(name: Optional[str] = None, cat: str = "") -> Callable:
+    """Decorator form: trace every call of the wrapped function as one span."""
+    def decorate(function: Callable) -> Callable:
+        span_name = name if name is not None else function.__qualname__
+
+        def wrapper(*args, **kwargs):
+            if _TRACER is None:
+                return function(*args, **kwargs)
+            with span(span_name, cat):
+                return function(*args, **kwargs)
+
+        wrapper.__name__ = function.__name__
+        wrapper.__qualname__ = function.__qualname__
+        wrapper.__doc__ = function.__doc__
+        wrapper.__wrapped__ = function
+        return wrapper
+    return decorate
+
+
+# ----------------------------------------------------------------- validation
+
+def validate_record(record: object) -> None:
+    """Raise :class:`ValueError` unless ``record`` matches the pinned schema."""
+    if not isinstance(record, dict):
+        raise ValueError(f"trace record must be an object, got {type(record).__name__}")
+    rtype = record.get("type")
+    if rtype == "meta":
+        _require_keys(record, META_KEYS)
+        if record["version"] != SCHEMA_VERSION:
+            raise ValueError(f"unsupported trace schema version {record['version']!r}")
+        _require_int(record, "pid")
+        _require_int(record, "tid")
+        _require_number(record, "unix_ts")
+        _require_number(record, "monotonic_ts")
+        return
+    if rtype in ("span", "event"):
+        _require_keys(record, SPAN_KEYS)
+        if not isinstance(record["name"], str) or not record["name"]:
+            raise ValueError("span name must be a non-empty string")
+        if not isinstance(record["cat"], str):
+            raise ValueError("span cat must be a string")
+        _require_number(record, "ts")
+        _require_number(record, "dur")
+        if record["dur"] < 0:
+            raise ValueError(f"span dur must be >= 0, got {record['dur']}")
+        _require_int(record, "pid")
+        _require_int(record, "tid")
+        _require_int(record, "id")
+        if record["id"] < 1:
+            raise ValueError(f"span id must be >= 1, got {record['id']}")
+        parent = record["parent"]
+        if parent is not None and (not isinstance(parent, int)
+                                   or isinstance(parent, bool) or parent < 1):
+            raise ValueError(f"span parent must be null or an id, got {parent!r}")
+        if not isinstance(record["attrs"], dict):
+            raise ValueError("span attrs must be an object")
+        for key in record["attrs"]:
+            if not isinstance(key, str):
+                raise ValueError(f"attr keys must be strings, got {key!r}")
+        return
+    raise ValueError(f"unknown trace record type {rtype!r}")
+
+
+def _require_keys(record: dict, keys) -> None:
+    expected = set(keys)
+    actual = set(record)
+    if actual != expected:
+        missing = sorted(expected - actual)
+        extra = sorted(actual - expected)
+        raise ValueError(
+            f"trace record keys mismatch: missing {missing}, unexpected {extra}")
+
+
+def _require_int(record: dict, key: str) -> None:
+    value = record[key]
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"trace record field {key!r} must be an integer, got {value!r}")
+
+
+def _require_number(record: dict, key: str) -> None:
+    value = record[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"trace record field {key!r} must be a number, got {value!r}")
+
+
+def _iter_records(path: "str | os.PathLike[str]") -> Iterator[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{number}: not valid JSON: {exc}") from exc
+            try:
+                validate_record(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{number}: {exc}") from exc
+            yield record
+
+
+def validate_trace(path: "str | os.PathLike[str]") -> int:
+    """Validate every line of a trace file; returns the record count."""
+    count = 0
+    for _record in _iter_records(path):
+        count += 1
+    return count
+
+
+def read_trace(path: "str | os.PathLike[str]") -> List[dict]:
+    """Parse and validate a trace file into a list of records."""
+    return list(_iter_records(path))

@@ -141,6 +141,10 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> dict:
+        """The server's metrics-registry snapshot (``GET /metrics?format=json``)."""
+        return self._request("GET", "/metrics?format=json")
+
     def submit(self, request: dict) -> dict:
         """``POST /jobs``; returns the receipt ``{"job", "state", "coalesced", "hit"}``.
 
@@ -175,8 +179,14 @@ class ServiceClient:
     # ------------------------------------------------------------------ the workflow
 
     def wait(self, job_id: str, poll_interval: float = 0.2,
-             timeout: Optional[float] = 120.0) -> dict:
+             timeout: Optional[float] = 120.0,
+             on_progress=None) -> dict:
         """Poll until the job reaches a terminal state; return its result payload.
+
+        ``on_progress`` (when given) is called with each status payload that
+        carries a ``progress`` dict — the server mirrors the executing
+        worker's live progress (phase/done/total/eta) into ``GET /jobs/<id>``
+        while the job runs.  Callback exceptions are not caught.
 
         Raises :class:`~repro.core.errors.ServiceTimeout` at the deadline (the
         job keeps running server-side) and :class:`ServiceError` if the job
@@ -188,6 +198,8 @@ class ServiceClient:
             state = status["state"]
             if state in TERMINAL_STATES:
                 break
+            if on_progress is not None and status.get("progress"):
+                on_progress(status)
             if deadline is not None and time.monotonic() >= deadline:
                 raise ServiceTimeout(
                     f"job {job_id} still {state} after {timeout:.1f}s "
@@ -203,16 +215,19 @@ class ServiceClient:
         raise ServiceError(f"job {job_id} was cancelled")
 
     def submit_and_wait(self, request: dict, poll_interval: float = 0.2,
-                        timeout: Optional[float] = 120.0) -> dict:
+                        timeout: Optional[float] = 120.0,
+                        on_progress=None) -> dict:
         """Submit and synchronously wait; the client-side happy path.
 
         A warm-store or coalesced submission resolves in one or two round
-        trips; everything else polls at ``poll_interval`` until ``timeout``.
+        trips; everything else polls at ``poll_interval`` until ``timeout``,
+        forwarding live progress to ``on_progress`` (see :meth:`wait`).
         """
         receipt = self.submit(request)
         if receipt["state"] == DONE:
             return self.result(receipt["job"])
-        return self.wait(receipt["job"], poll_interval=poll_interval, timeout=timeout)
+        return self.wait(receipt["job"], poll_interval=poll_interval,
+                         timeout=timeout, on_progress=on_progress)
 
 
 __all__ = ["ServiceClient"]

@@ -47,11 +47,40 @@ from __future__ import annotations
 import heapq
 import threading
 import time
+import weakref
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.errors import ServiceError, ServiceUnavailable
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .wire import JobRequest
+
+# Process-wide mirrors of the queue's per-instance counters (the pinned
+# ``stats()`` schema keeps its per-queue meaning; the registry aggregates
+# across every queue the process ever creates — see repro.obs.metrics).
+_M_SUBMITTED = _metrics.counter("repro_jobs_submitted_total",
+                                "Job submissions, coalesced or not")
+_M_COALESCED = _metrics.counter("repro_jobs_coalesced_total",
+                                "Submissions absorbed by a live job")
+_M_STORE_HITS = _metrics.counter("repro_jobs_store_hits_total",
+                                 "Submissions answered from the warm artifact store")
+_M_EXECUTED = _metrics.counter("repro_jobs_executed_total",
+                               "Jobs a worker computed to completion")
+_M_FAILED = _metrics.counter("repro_jobs_failed_total", "Jobs that failed for good")
+_M_CANCELLED = _metrics.counter("repro_jobs_cancelled_total", "Jobs cancelled")
+_M_RETRIES = _metrics.counter("repro_jobs_retries_total",
+                              "Retryable failures that re-enqueued a job")
+_M_TIMEOUTS = _metrics.counter("repro_jobs_timeouts_total",
+                               "Per-job wall-clock timeouts")
+_M_REJECTED = _metrics.counter("repro_jobs_rejected_total",
+                               "Submissions refused under backpressure")
+_M_WALL = _metrics.histogram("repro_job_wall_seconds",
+                             "Execution wall time of completed jobs")
+_G_QUEUE_DEPTH = _metrics.gauge("repro_queue_depth",
+                                "Jobs currently queued (latest live queue)")
+_G_IN_FLIGHT = _metrics.gauge("repro_jobs_in_flight",
+                              "Jobs currently running (latest live queue)")
 
 #: The job lifecycle states.
 QUEUED = "queued"
@@ -88,6 +117,13 @@ class Job:
         self.cancel_requested = False
         #: Whether this job was rebuilt from the journal at startup.
         self.recovered = False
+        #: Live progress view (phase/done/total/eta), written by the executing
+        #: worker's progress capture and surfaced by ``GET /jobs/<id>``.
+        #: A benign single-writer race: the worker replaces the whole dict.
+        self.progress: Optional[dict] = None
+        #: Monotonic stamp of the last enqueue (submit or retry), closing the
+        #: ``job.queue_wait`` trace span at worker pickup.
+        self.queued_mono: Optional[float] = None
 
     @property
     def key(self) -> str:
@@ -128,6 +164,8 @@ class Job:
             info["cancel_requested"] = True
         if self.recovered:
             info["recovered"] = True
+        if self.progress is not None and self.state == RUNNING:
+            info["progress"] = dict(self.progress)
         return info
 
 
@@ -195,6 +233,18 @@ class JobQueue:
         self.retries = 0      # retryable failures that re-enqueued a job
         self.timeouts = 0     # wall-clock timeouts (a subset of retries/failed)
         self.rejected = 0     # submissions refused under backpressure
+        # Live-depth gauges track the most recently created queue: the gauge
+        # callbacks hold only a weakref, so a dead queue reads as 0 rather
+        # than keeping itself alive through the process-wide registry.
+        ref = weakref.ref(self)
+        _G_QUEUE_DEPTH.set_function(
+            lambda: queue._queued if (queue := ref()) is not None else 0)
+        _G_IN_FLIGHT.set_function(
+            lambda: queue._in_flight_count() if (queue := ref()) is not None else 0)
+
+    def _in_flight_count(self) -> int:
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == RUNNING)
 
     # ------------------------------------------------------------------ journal
 
@@ -230,16 +280,21 @@ class JobQueue:
                 if job.state in (QUEUED, RUNNING):
                     job.submissions += 1
                     self.coalesced += 1
+                    _M_SUBMITTED.inc()
+                    _M_COALESCED.inc()
                     return job, True
                 if job.state == DONE:
                     job.submissions += 1
                     self.store_hits += 1
+                    _M_SUBMITTED.inc()
+                    _M_STORE_HITS.inc()
                     return job, False
                 # failed / cancelled: fall through to a fresh attempt.
             if warm_result is None and self.max_queue is not None:
                 if self._queued >= self.max_queue:
                     self.submitted -= 1  # never admitted
                     self.rejected += 1
+                    _M_REJECTED.inc()
                     raise ServiceUnavailable(
                         f"job queue is full ({self._queued} pending >= "
                         f"max_queue={self.max_queue}); retry in "
@@ -252,11 +307,15 @@ class JobQueue:
                 job.started_at = job.finished_at = time.time()
                 job.result = warm_result
                 self.store_hits += 1
+                _M_SUBMITTED.inc()
+                _M_STORE_HITS.inc()
                 self._record("submit", job, kind=request.kind, body=request.body)
                 self._record("done", job, result=warm_result)
                 return job, False
             self._pending.append(request.key)
             self._queued += 1
+            job.queued_mono = time.monotonic()
+            _M_SUBMITTED.inc()
             self._record("submit", job, kind=request.kind, body=request.body)
             self._ready.notify()
             return job, False
@@ -327,6 +386,12 @@ class JobQueue:
                     job.state = RUNNING
                     job.attempts += 1
                     job.started_at = time.time()
+                    if job.queued_mono is not None and _trace.is_active():
+                        _trace.complete(
+                            "job.queue_wait", job.queued_mono, time.monotonic(),
+                            "service",
+                            {"job": key[:16], "attempt": job.attempts})
+                    job.queued_mono = None
                     self._record("running", job)
                     return job
                 if self._stopped:
@@ -365,6 +430,9 @@ class JobQueue:
             job.state = DONE
             job.finished_at = time.time()
             self.executed += 1
+            _M_EXECUTED.inc()
+            if job.started_at is not None:
+                _M_WALL.observe(job.finished_at - job.started_at)
             self._record("done", job, result=result)
 
     def fail(self, job: Job, error: str, attempt: Optional[int] = None) -> None:
@@ -379,6 +447,7 @@ class JobQueue:
         job.state = FAILED
         job.finished_at = time.time()
         self.failed += 1
+        _M_FAILED.inc()
         self._record("failed", job, error=error)
 
     def retry_or_fail(self, job: Job, error: str, retryable: bool,
@@ -396,6 +465,7 @@ class JobQueue:
                 return job.state
             if timed_out:
                 self.timeouts += 1
+                _M_TIMEOUTS.inc()
             if job.cancel_requested:
                 # The client asked to cancel; a failure on the way out is a
                 # cancellation, not something worth retrying.
@@ -408,6 +478,12 @@ class JobQueue:
                 self._queued += 1
                 delay = self.retry_backoff * (2 ** (job.attempts - 1))
                 self.retries += 1
+                _M_RETRIES.inc()
+                job.queued_mono = time.monotonic() + delay
+                if _trace.is_active():
+                    _trace.event("job.retry", "service", {
+                        "job": job.key[:16], "attempt": job.attempts,
+                        "delay": delay})
                 self._delay_seq += 1
                 heapq.heappush(self._delayed,
                                (time.monotonic() + delay, self._delay_seq,
@@ -429,6 +505,7 @@ class JobQueue:
         job.state = CANCELLED
         job.finished_at = time.time()
         self.cancelled += 1
+        _M_CANCELLED.inc()
         self._record("cancelled", job)
 
     # ------------------------------------------------------------------ lifecycle

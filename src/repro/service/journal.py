@@ -45,12 +45,22 @@ import json
 import os
 import tempfile
 import threading
-import warnings
 from pathlib import Path
 from typing import Dict, Optional, TYPE_CHECKING
 
+from ..obs import metrics as _metrics
+from ..obs.logs import get_logger, warn_once
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .jobs import JobQueue
+
+_logger = get_logger("service.journal")
+
+# Process-wide mirrors of the per-journal counters surfaced in ``/stats``.
+_M_WRITE_ERRORS = _metrics.counter("repro_journal_write_errors_total",
+                                   "Journal appends dropped on OSError")
+_M_TORN_LINES = _metrics.counter("repro_journal_torn_lines_total",
+                                 "Unparseable journal lines skipped at replay")
 
 #: Events whose presence makes a job terminal at replay time.
 _TERMINAL_EVENTS = ("done", "failed", "cancelled")
@@ -78,7 +88,6 @@ class JobJournal:
         #: revoked mount); reported by ``/stats``.  The journal degrades —
         #: it never propagates a disk failure into a queue transition.
         self.write_errors = 0
-        self._write_warned = False
 
     # ------------------------------------------------------------------ append
 
@@ -92,8 +101,9 @@ class JobJournal:
         calls this from inside its state transitions, and an ``OSError``
         propagating out of ``finish``/``fail`` would kill the worker thread
         and strand the job in ``running``.  Instead the append is dropped and
-        counted in :attr:`write_errors` (one warning per journal), and the
-        handle is discarded so the next append retries with a fresh open — a
+        counted in :attr:`write_errors` (one ``repro.service.journal`` warning
+        per journal path — :func:`repro.obs.logs.warn_once`), and the handle
+        is discarded so the next append retries with a fresh open — a
         transient failure heals, a persistent one degrades crash-safety only.
         """
         entry = {"event": event, "job": key}
@@ -110,21 +120,19 @@ class JobJournal:
                 return
             except OSError as exc:
                 self.write_errors += 1
+                _M_WRITE_ERRORS.inc()
                 if self._handle is not None:
                     try:
                         self._handle.close()
                     except OSError:
                         pass
                     self._handle = None
-                if self._write_warned:
-                    return
-                self._write_warned = True
                 error = exc
-        warnings.warn(
-            f"job journal append to {self.path} failed ({error!r}); dropping "
-            f"journal entries (crash-safety degraded; further write errors "
-            f"counted silently — see /stats)",
-            RuntimeWarning, stacklevel=3)
+        warn_once(
+            _logger, str(self.path),
+            "job journal append to %s failed (%r); dropping journal entries "
+            "(crash-safety degraded; further write errors counted silently "
+            "— see /stats)", self.path, error)
 
     def close(self) -> None:
         with self._lock:
@@ -158,6 +166,7 @@ class JobJournal:
                 key = entry["job"]
             except Exception:
                 self.torn_lines += 1
+                _M_TORN_LINES.inc()
                 continue
             record = records.setdefault(key, {"state": None})
             record["state"] = event

@@ -21,8 +21,12 @@ endpoint                   meaning
 ``GET  /healthz``          liveness probe
 ``GET  /stats``            queue depth, in-flight, hit/coalesce/retry/
                            recovery counters, per-job wall times, journal
-                           info, and the artifact store's
-                           ``cache stats --json`` payload
+                           info, uptime/version, the artifact store's
+                           ``cache stats --json`` payload, and a metrics
+                           snapshot
+``GET  /metrics``          the process-wide metrics registry — Prometheus
+                           text exposition by default,
+                           ``/metrics?format=json`` for the JSON snapshot
 =========================  ==================================================
 
 With ``journal=`` set, the server is **crash-safe**: every job transition is
@@ -45,10 +49,14 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
+from .. import __version__
 from ..core.errors import ServiceError, ServiceUnavailable
+from ..obs.metrics import PROMETHEUS_CONTENT_TYPE, REGISTRY
 from .jobs import CANCELLED, DONE, FAILED, JobQueue
 from .journal import JobJournal
 from .wire import decode_request
@@ -96,12 +104,25 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service = self.server.service
-        path = self.path.rstrip("/")
+        url = urlsplit(self.path)
+        path = url.path.rstrip("/")
         if path == "/healthz":
             self._send_json(200, {"ok": True})
             return
         if path == "/stats":
             self._send_json(200, service.describe_stats())
+            return
+        if path == "/metrics":
+            query = parse_qs(url.query)
+            if query.get("format", [""])[-1] == "json":
+                self._send_json(200, REGISTRY.snapshot())
+                return
+            body = REGISTRY.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         if path.startswith("/jobs/"):
             parts = path[len("/jobs/"):].split("/")
@@ -205,6 +226,8 @@ class JobServer:
                  retry_backoff: float = 0.5) -> None:
         self.store = store
         self.verbose = verbose
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
         self.queue = JobQueue(max_queue=max_queue, max_retries=task_retries,
                               retry_backoff=retry_backoff)
         self.journal: Optional[JobJournal] = None
@@ -243,7 +266,12 @@ class JobServer:
 
     def describe_stats(self) -> dict:
         """The ``GET /stats`` payload: queue counters plus store stats."""
-        payload = {"service": self.queue.stats(), "workers": self.pool.workers}
+        payload = {"service": self.queue.stats(), "workers": self.pool.workers,
+                   "version": __version__,
+                   "started_at": self.started_at,
+                   "uptime_seconds": round(
+                       time.monotonic() - self._started_mono, 3),
+                   "metrics": REGISTRY.snapshot()}
         if self.journal is not None:
             payload["journal"] = {"path": str(self.journal.path),
                                   "torn_lines": self.journal.torn_lines,

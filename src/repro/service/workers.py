@@ -37,8 +37,11 @@ from __future__ import annotations
 import threading
 import traceback
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from typing import List, Optional
 
+from ..obs import trace as _trace
+from ..obs.bus import BUS
 from .jobs import Job, JobQueue
 from .wire import JobRequest, execute_request, render_result
 
@@ -117,6 +120,36 @@ class _CancelGuard:
         return results
 
 
+#: Progress-event fields copied onto :attr:`Job.progress` (a stable subset of
+#: what :class:`repro.obs.bus.ProgressReporter` emits).
+_PROGRESS_FIELDS = ("phase", "done", "total", "unit", "elapsed", "eta")
+
+
+@contextmanager
+def _progress_capture(job: Job):
+    """Mirror this thread's progress events onto ``job.progress``.
+
+    The library's reporters emit on the thread doing the work — the same
+    thread that runs :meth:`WorkerPool._call` — so filtering by thread ident
+    keeps concurrent workers from writing into each other's jobs.  The dict is
+    replaced wholesale (never mutated) so ``Job.describe`` can copy it without
+    holding any extra lock.
+    """
+    ident = threading.get_ident()
+
+    def on_progress(event: dict) -> None:
+        if event.get("thread") != ident:
+            return
+        job.progress = {field: event[field] for field in _PROGRESS_FIELDS
+                        if field in event}
+
+    BUS.subscribe("progress", on_progress)
+    try:
+        yield
+    finally:
+        BUS.unsubscribe("progress", on_progress)
+
+
 class WorkerPool:
     """``workers`` threads draining a :class:`JobQueue` through one store.
 
@@ -170,14 +203,23 @@ class WorkerPool:
     def _call(self, job: Job, guard: _CancelGuard) -> tuple:
         """One execution attempt; returns an outcome tag the supervisor maps
         onto a queue transition.  Never raises."""
-        try:
-            payload = execute_request(job.request, executor=guard,
-                                      store=self.store)
-        except JobCancelled:
-            return ("cancelled", None, None)
-        except Exception as exc:
-            return ("error", exc, traceback.format_exc())
-        return ("done", payload, None)
+        attempt_span = _trace.NOOP
+        if _trace.is_active():
+            attempt_span = _trace.span("job.attempt", "service", {
+                "job": job.key[:16], "kind": job.request.kind,
+                "attempt": job.attempts})
+        with attempt_span as span, _progress_capture(job):
+            try:
+                payload = execute_request(job.request, executor=guard,
+                                          store=self.store)
+            except JobCancelled:
+                span.set("outcome", "cancelled")
+                return ("cancelled", None, None)
+            except Exception as exc:
+                span.set("outcome", "error")
+                return ("error", exc, traceback.format_exc())
+            span.set("outcome", "done")
+            return ("done", payload, None)
 
     def _execute(self, job: Job) -> None:
         attempt = job.attempts  # the token making late outcomes discardable

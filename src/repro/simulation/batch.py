@@ -54,6 +54,8 @@ from ..core.errors import ConfigurationError, ProtocolError
 from ..core.types import Action, PreferenceVector, validate_preferences
 from ..exchange.base import InformationExchange, LocalState
 from ..failures.pattern import FailurePattern
+from ..obs import trace as _trace
+from ..obs.bus import BUS, ProgressReporter
 from ..protocols.base import ActionProtocol
 from .trace import RoundRecord, RunTrace
 
@@ -279,18 +281,33 @@ class BatchSimulator:
         transitions = self._transitions
         blocked_sets = self._blocked_sets
         count = len(traces)
+        # Observability is opt-in and must cost nothing otherwise: the round
+        # loop is the build hot path, so both the per-round spans and the
+        # progress reporter are gated on an active subscriber up front.
+        tracing = _trace.is_active()
+        reporter = None
+        if BUS.has_subscribers("progress"):
+            reporter = ProgressReporter(f"build:{self.protocol.name}",
+                                        total=horizon, unit="rounds")
         for time in range(horizon):
-            for index in range(count):
-                states = current[index]
-                bid = round_ids[index][time]
-                key = (id(states), bid)
-                hit = transitions.get(key)
-                if hit is None:
-                    hit = self._transition(states, blocked_sets[bid], time)
-                    transitions[key] = hit
-                new_states, record = hit
-                traces[index].rounds.append(record)
-                current[index] = new_states
+            round_span = _trace.NOOP
+            if tracing:
+                round_span = _trace.span("build.round", "build",
+                                         {"round": time, "runs": count})
+            with round_span:
+                for index in range(count):
+                    states = current[index]
+                    bid = round_ids[index][time]
+                    key = (id(states), bid)
+                    hit = transitions.get(key)
+                    if hit is None:
+                        hit = self._transition(states, blocked_sets[bid], time)
+                        transitions[key] = hit
+                    new_states, record = hit
+                    traces[index].rounds.append(record)
+                    current[index] = new_states
+            if reporter is not None:
+                reporter.advance()
         return traces
 
     def simulate_patterns(self, patterns: Iterable[FailurePattern],

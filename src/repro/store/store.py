@@ -40,14 +40,33 @@ import json
 import os
 import pickle
 import threading
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from ..core.errors import StoreError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.logs import get_logger
 from .backends import FilesystemBackend, MemoryBackend, StoreBackend
+
+_logger = get_logger("store")
+
+# Process-wide mirrors of the per-instance session counters: every store in
+# the process increments these alongside its own tallies, so ``/metrics`` and
+# ``repro-eba obs`` see one aggregate while ``StoreStats.as_dict()`` (a pinned
+# schema) keeps its per-instance meaning.
+_M_HITS = _metrics.counter("repro_store_hits_total",
+                           "Artifact-store hits (memory or backend)")
+_M_MEMORY_HITS = _metrics.counter("repro_store_memory_hits_total",
+                                  "Artifact-store hits served from the in-memory LRU")
+_M_MISSES = _metrics.counter("repro_store_misses_total", "Artifact-store misses")
+_M_PUTS = _metrics.counter("repro_store_puts_total", "Artifact-store writes")
+_M_CORRUPTED = _metrics.counter("repro_store_corrupted_total",
+                                "Corrupt store entries deleted and recomputed")
+_M_IO_ERRORS = _metrics.counter("repro_store_io_errors_total",
+                                "Store backend IO failures (degraded to uncached)")
 
 #: First bytes of every stored payload; version-suffixed so a format change is
 #: just a corrupt (= recomputed) entry for older readers, never a wrong value.
@@ -210,24 +229,25 @@ class ArtifactStore:
         self._io_warned = False
 
     def _backend_error(self, operation: str, exc: Exception) -> None:
-        """Record a backend IO failure; warn the first time only.
+        """Record a backend IO failure; log a warning the first time only.
 
         The cache is an accelerator, not a dependency: a backend that starts
         raising (full disk, revoked permissions, flaky mount) must degrade
         every operation to its uncached behaviour, not crash the pipeline.
-        One warning per store instance keeps a long sweep from drowning its
-        output in repeats; the ``io_errors`` counter keeps the full tally.
+        One ``repro.store`` WARNING per store instance keeps a long sweep from
+        drowning its output in repeats; the ``io_errors`` counter (and its
+        process-wide metric) keeps the full tally.
         """
         with self._lock:
             self._io_errors += 1
+            _M_IO_ERRORS.inc()
             if self._io_warned:
                 return
             self._io_warned = True
-        warnings.warn(
-            f"artifact store backend failed during {operation} ({exc!r}); "
-            f"degrading to uncached computation (further backend errors "
-            f"counted silently — see cache stats)",
-            RuntimeWarning, stacklevel=3)
+        _logger.warning(
+            "artifact store backend failed during %s (%r); degrading to "
+            "uncached computation (further backend errors counted silently "
+            "— see cache stats)", operation, exc)
 
     # ------------------------------------------------------------------ get/put
 
@@ -240,11 +260,21 @@ class ArtifactStore:
         later in-process hits while the on-disk copy keeps the original —
         the same sharing contract as ``functools.lru_cache``.
         """
+        if not _trace.is_active():
+            return self._get_impl(key)
+        with _trace.span("store.get", "store", {"key": key[:16]}) as span:
+            artifact = self._get_impl(key)
+            span.set("hit", artifact is not None)
+            return artifact
+
+    def _get_impl(self, key: str) -> Optional[object]:
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
                 self._hits += 1
                 self._memory_hits += 1
+                _M_HITS.inc()
+                _M_MEMORY_HITS.inc()
                 return self._memory[key]
             try:
                 payload = self.backend.get(key)
@@ -252,9 +282,11 @@ class ArtifactStore:
                 # IO degradation: an unreadable backend is a miss, not a crash.
                 self._backend_error("get", exc)
                 self._misses += 1
+                _M_MISSES.inc()
                 return None
             if payload is None:
                 self._misses += 1
+                _M_MISSES.inc()
                 return None
             try:
                 artifact = _decode(payload)
@@ -267,8 +299,11 @@ class ArtifactStore:
                     self._backend_error("delete", exc)
                 self._corrupted += 1
                 self._misses += 1
+                _M_CORRUPTED.inc()
+                _M_MISSES.inc()
                 return None
             self._hits += 1
+            _M_HITS.inc()
             self._remember(key, artifact)
             return artifact
 
@@ -283,6 +318,15 @@ class ArtifactStore:
         if serializer not in _SERIALIZERS:
             raise StoreError(f"unknown serializer {serializer!r}; use one of {_SERIALIZERS}")
         payload = _encode(artifact, kind, serializer)
+        if not _trace.is_active():
+            self._put_impl(key, payload, artifact)
+            return
+        with _trace.span("store.put", "store",
+                         {"key": key[:16], "kind": kind,
+                          "bytes": len(payload)}):
+            self._put_impl(key, payload, artifact)
+
+    def _put_impl(self, key: str, payload: bytes, artifact: object) -> None:
         with self._lock:
             try:
                 self.backend.put(key, payload)
@@ -294,6 +338,7 @@ class ArtifactStore:
                 self._remember(key, artifact)
                 return
             self._puts += 1
+            _M_PUTS.inc()
             self._remember(key, artifact)
             if self.max_bytes is not None:
                 if self._size_estimate is None:

@@ -233,6 +233,9 @@ class TestSweepResumeMessage:
 
     def test_notifier_is_uninstalled_after_the_command(self, tmp_path):
         from repro.api import specs as specs_module
+        from repro.obs.bus import BUS
         assert main(["experiment", "e2", "--n", "3", "--t", "1",
                      "--cache-dir", str(tmp_path / "cache")]) == 0
         assert specs_module._RESUME_NOTIFIER is None
+        # The bus subscription the command installed is gone too.
+        assert not BUS.has_subscribers("sweep.resume")

@@ -1,0 +1,226 @@
+"""Tests for the unified metrics registry (:mod:`repro.obs.metrics`) and its
+HTTP export surface (``GET /metrics`` on the job server).
+
+Registry semantics are tested on **fresh** :class:`MetricsRegistry` instances
+so they cannot collide with the process-wide :data:`REGISTRY` other suites
+increment.  The server tests scrape the real registry and therefore assert
+*relative* monotonicity (scrape-to-scrape deltas), never absolute totals.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_table,
+)
+
+
+# ------------------------------------------------------------------ registry
+
+
+class TestRegistrySemantics:
+    def test_counters_are_monotonic(self):
+        registry = MetricsRegistry()
+        c = registry.counter("demo_total", "a demo")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+        assert c.value == 4  # the rejected inc changed nothing
+
+    def test_get_or_create_returns_the_same_handle(self):
+        registry = MetricsRegistry()
+        first = registry.counter("demo_total", "help text")
+        second = registry.counter("demo_total")
+        assert first is second
+        assert first.help == "help text"  # first registration wins
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("demo_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.histogram("demo_total")
+
+    def test_invalid_names_are_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "9starts_with_digit", "has-dash", "has space"):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.counter(bad)
+
+    def test_reset_for_tests_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total")
+        g = registry.gauge("g")
+        h = registry.histogram("h_seconds")
+        c.inc(5)
+        g.set(7)
+        h.observe(0.2)
+        registry.reset_for_tests()
+        # The handles other modules cached stay registered and live...
+        assert registry.counter("c_total") is c
+        assert registry.gauge("g") is g
+        # ...but read zero again.
+        assert c.value == 0
+        assert g.value == 0
+        assert h.count == 0 and h.sum == 0.0
+        c.inc()
+        assert registry.snapshot()["c_total"]["value"] == 1
+
+    def test_gauge_set_function_with_error_fallback(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set_function(lambda: 11)
+        assert g.value == 11
+
+        def boom():
+            raise RuntimeError("sampler died")
+
+        g.set_function(boom)
+        assert g.value == 3  # falls back to the last set value
+        g.set(4)  # plain set clears the callback
+        assert g.value == 4
+
+    def test_gauge_inc_dec(self):
+        g = Gauge("inflight")
+        g.inc()
+        g.inc(2)
+        g.dec()
+        assert g.value == 2
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = Histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        snap = h._snapshot()
+        assert snap["buckets"] == {"0.1": 2, "1": 3, "10": 4, "+Inf": 5}
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(55.6)
+        rendered = h._render()
+        assert 'lat_seconds_bucket{le="+Inf"} 5' in rendered
+        assert "lat_seconds_count 5" in rendered
+
+    def test_histogram_rejects_empty_buckets(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("empty_seconds", buckets=())
+
+    def test_default_buckets_cover_the_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 60.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRendering:
+    def test_prometheus_exposition_has_help_and_type_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "counts b").inc(2)
+        registry.gauge("a_depth").set(1.5)
+        text = registry.render_prometheus()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        # Sorted by metric name: a_depth before b_total.
+        assert lines[0] == "# TYPE a_depth gauge"
+        assert lines[1] == "a_depth 1.5"
+        assert lines[2] == "# HELP b_total counts b"
+        assert lines[3] == "# TYPE b_total counter"
+        assert lines[4] == "b_total 2"
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h_seconds").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["c_total"] == {"type": "counter", "help": "", "value": 1}
+        assert snap["g"]["type"] == "gauge" and snap["g"]["value"] == 2
+        h = snap["h_seconds"]
+        assert h["type"] == "histogram" and h["count"] == 1
+        assert json.loads(json.dumps(snap)) == snap  # JSON-safe
+
+    def test_render_table(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.histogram("h_seconds").observe(0.5)
+        table = render_table(registry.snapshot())
+        assert "c_total" in table and "3" in table
+        assert "count=1" in table
+        assert render_table({}) == "(no metrics recorded)"
+
+
+# ------------------------------------------------------------------ /metrics
+
+
+def parse_prometheus(text: str) -> dict:
+    """Simple-value lines of a text exposition as ``{name: float}``."""
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("#") or "{" in line:
+            continue
+        name, _, raw = line.partition(" ")
+        values[name] = float(raw)
+    return values
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture()
+    def server(self):
+        from repro.service import JobServer
+        from repro.store import ArtifactStore
+        with JobServer(port=0, workers=1, store=ArtifactStore()) as server:
+            yield server
+
+    def scrape(self, server, suffix="/metrics"):
+        with urllib.request.urlopen(server.url + suffix, timeout=10.0) as resp:
+            return resp.headers.get("Content-Type"), resp.read().decode("utf-8")
+
+    def test_content_type_and_json_parity(self, server):
+        content_type, body = self.scrape(server)
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        json_type, json_body = self.scrape(server, "/metrics?format=json")
+        assert json_type.startswith("application/json")
+        snapshot = json.loads(json_body)
+        text_values = parse_prometheus(body)
+        for name, entry in snapshot.items():
+            if entry["type"] == "histogram":
+                assert text_values[f"{name}_count"] == entry["count"]
+            else:
+                assert text_values[name] == pytest.approx(entry["value"])
+
+    def test_counters_are_monotonic_across_scrapes(self, server):
+        from repro.service import ServiceClient, run_request
+        _, before_text = self.scrape(server)
+        before = parse_prometheus(before_text)
+        client = ServiceClient(server.url)
+        body = run_request("min", 1, 3, [1, 0, 1])
+        client.submit_and_wait(body, timeout=60.0)
+        client.submit_and_wait(body, timeout=60.0)  # warm: a store hit
+        _, after_text = self.scrape(server)
+        after = parse_prometheus(after_text)
+        for name, value in after.items():
+            if name.endswith("_total") or name.endswith("_count"):
+                assert value >= before.get(name, 0.0), name
+        assert (after["repro_jobs_submitted_total"]
+                >= before.get("repro_jobs_submitted_total", 0.0) + 2)
+        assert (after["repro_jobs_executed_total"]
+                >= before.get("repro_jobs_executed_total", 0.0) + 1)
+
+    def test_stats_embeds_the_registry(self, server):
+        from repro.service import ServiceClient
+        stats = ServiceClient(server.url).stats()
+        assert stats["uptime_seconds"] >= 0
+        assert "started_at" in stats and "version" in stats
+        metrics = stats["metrics"]
+        assert "repro_jobs_submitted_total" in metrics
+        assert metrics["repro_jobs_submitted_total"]["type"] == "counter"

@@ -338,8 +338,9 @@ class TestArtifactStore:
         for key in victims:
             assert store.get(key) is None
 
-    def test_io_errors_are_counted_and_degrade(self, tmp_path):
+    def test_io_errors_are_counted_and_degrade(self, tmp_path, caplog):
         """A backend that starts raising degrades the store to uncached."""
+        import logging
         store = default_store(tmp_path)
         store.put("a" * 64, {"v": 1})
 
@@ -351,8 +352,10 @@ class TestArtifactStore:
 
         store.backend = DeadBackend()
         store._memory.clear()
-        with pytest.warns(RuntimeWarning, match="degrading to uncached"):
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
             assert store.get("a" * 64) is None
+        assert any("degrading to uncached" in record.message
+                   for record in caplog.records)
         store.put("b" * 64, {"v": 2})     # skipped, silently
         assert store.get("b" * 64) == {"v": 2}  # from the memory layer
         assert store.contains("c" * 64) is False

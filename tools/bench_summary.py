@@ -57,9 +57,14 @@ def run_suite(suite: Path, timeout: int) -> Dict[str, object]:
     """Run one benchmark file; return its summary entry (never raises)."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         json_path = Path(handle.name)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        obs_path = Path(handle.name)
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    # benchmarks/conftest.py dumps the suite process's peak RSS and metrics
+    # snapshot here at session finish.
+    env["REPRO_OBS_DUMP"] = str(obs_path)
     command = [sys.executable, "-m", "pytest", str(suite), "-q",
                f"--benchmark-json={json_path}"]
     entry: Dict[str, object] = {"suite": suite.stem}
@@ -84,15 +89,23 @@ def run_suite(suite: Path, timeout: int) -> Dict[str, object]:
             }
             for bench in data.get("benchmarks", [])
         ]
+        try:
+            observed = json.loads(obs_path.read_text())
+            entry["peak_rss_kb"] = observed.get("peak_rss_kb")
+            entry["metrics"] = observed.get("metrics")
+        except (OSError, json.JSONDecodeError):
+            entry["peak_rss_kb"] = None
+            entry["metrics"] = None
     except subprocess.TimeoutExpired:
         entry["returncode"] = -1
         entry["error"] = f"timed out after {timeout}s"
         entry["benchmarks"] = []
     finally:
-        try:
-            json_path.unlink()
-        except OSError:
-            pass
+        for leftover in (json_path, obs_path):
+            try:
+                leftover.unlink()
+            except OSError:
+                pass
     return entry
 
 

@@ -11,8 +11,11 @@ service exists for:
 2. the fetched payload is byte-identical to the **direct library path**
    (``spec.run`` + ``render_result`` against a fresh store) — the service adds
    transport, never semantics;
-3. a ``repro-eba submit --wait`` round trip works against the same server;
-4. ``SIGINT`` shuts the server down gracefully (exit code 0).
+3. ``GET /metrics`` serves the unified registry (Prometheus text and JSON)
+   with the coalescing counters from property 1, and ``/stats`` carries
+   uptime/version/metrics;
+4. a ``repro-eba submit --wait`` round trip works against the same server;
+5. ``SIGINT`` shuts the server down gracefully (exit code 0).
 
 Run it locally with ``python tools/service_smoke.py``; exits non-zero with a
 diagnostic on the first failed property.
@@ -109,6 +112,26 @@ def main() -> int:
             first, second = (json.dumps(payload, sort_keys=True)
                              for payload in payloads)
             check(first == second, "concurrent payloads are byte-identical")
+
+            # -- 1b: the unified metrics registry over /metrics -------------
+            import urllib.request
+            with urllib.request.urlopen(f"{url}/metrics", timeout=30) as response:
+                content_type = response.headers.get("Content-Type", "")
+                exposition = response.read().decode("utf-8")
+            check(content_type.startswith("text/plain"),
+                  f"/metrics serves Prometheus text (got {content_type!r})")
+            check("repro_jobs_submitted_total 2" in exposition,
+                  "/metrics counts both submissions")
+            check("repro_jobs_coalesced_total" in exposition
+                  and "repro_jobs_executed_total" in exposition,
+                  "/metrics exposes the coalescing counters")
+            snapshot = client.metrics()
+            check(snapshot["repro_jobs_submitted_total"]["value"] == 2,
+                  "/metrics?format=json matches the text exposition")
+            full_stats = client.stats()
+            check("uptime_seconds" in full_stats and "version" in full_stats
+                  and "metrics" in full_stats,
+                  "/stats embeds uptime, version, and a metrics snapshot")
 
             # -- 2: byte-identical to the direct library path ---------------
             request = decode_request(body)
