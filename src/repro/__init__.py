@@ -58,6 +58,22 @@ The pre-``repro.api`` functions still work but emit ``DeprecationWarning``:
 :func:`repro.simulation.engine.simulate`.)
 """
 
+from .analysis import (
+    DominanceResult,
+    compare_protocols,
+    pairwise_comparison,
+    run_metrics,
+    zero_chains,
+)
+from .api import (
+    Executor,
+    ParallelExecutor,
+    ResultSet,
+    RunSpec,
+    SerialExecutor,
+    Sweep,
+    SweepSpec,
+)
 from .core import (
     Action,
     AgentId,
@@ -69,6 +85,12 @@ from .core import (
     ReproError,
     Value,
     decide,
+)
+from .exchange import (
+    BasicExchange,
+    CommGraph,
+    FullInformationExchange,
+    MinimalExchange,
 )
 from .failures import (
     CrashModel,
@@ -82,12 +104,6 @@ from .failures import (
     make_model,
     silent_adversary,
     silent_receiver_adversary,
-)
-from .exchange import (
-    BasicExchange,
-    CommGraph,
-    FullInformationExchange,
-    MinimalExchange,
 )
 from .protocols import (
     ActionProtocol,
@@ -106,23 +122,7 @@ from .simulation.runner import (  # deprecated shims over repro.api
     simulate,
     sweep,
 )
-from .api import (
-    Executor,
-    ParallelExecutor,
-    ResultSet,
-    RunSpec,
-    SerialExecutor,
-    Sweep,
-    SweepSpec,
-)
 from .spec import SpecReport, check_eba, require_eba
-from .analysis import (
-    DominanceResult,
-    compare_protocols,
-    pairwise_comparison,
-    run_metrics,
-    zero_chains,
-)
 
 __version__ = "1.1.0"
 

@@ -16,13 +16,6 @@ from .dominance import (
     compare_traces,
     pairwise_comparison,
 )
-from .optimality import (
-    DeviationOutcome,
-    OptimalityProbeReport,
-    context_scenarios,
-    probe_optimality,
-    reachable_states,
-)
 from .metrics import (
     AggregateMetrics,
     RunMetrics,
@@ -31,6 +24,13 @@ from .metrics import (
     last_nonfaulty_decision_round,
     nonfaulty_decision_rounds,
     run_metrics,
+)
+from .optimality import (
+    DeviationOutcome,
+    OptimalityProbeReport,
+    context_scenarios,
+    probe_optimality,
+    reachable_states,
 )
 
 __all__ = [

@@ -22,7 +22,7 @@ later times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.types import AgentId
 from ..exchange.messages import DecideNotification, GraphMessage

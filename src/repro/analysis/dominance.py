@@ -18,10 +18,9 @@ baseline).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from ..core.types import AgentId
-from ..failures.pattern import FailurePattern
 from ..protocols.base import ActionProtocol
 from ..simulation.runner import Scenario
 from ..simulation.trace import RunTrace

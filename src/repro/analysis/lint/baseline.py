@@ -1,0 +1,115 @@
+"""The committed baseline: grandfathered findings with justifications.
+
+``lint-baseline.json`` holds findings that are acknowledged but not (yet)
+fixed.  Each entry matches on ``(path, rule, message)`` — line numbers are
+deliberately excluded so entries survive unrelated edits — and carries a
+mandatory ``justification`` line explaining *why* the finding stands.
+
+The runner consumes entries as multiset matches: two identical findings need
+two identical entries.  Entries that match nothing are *stale*; ``--strict``
+fails on them so the baseline can only shrink silently, never rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+DEFAULT_JUSTIFICATION = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    rule: str
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.path, self.rule, self.message)
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"path": self.path, "rule": self.rule, "message": self.message,
+                "justification": self.justification}
+
+
+class Baseline:
+    """A loaded baseline file, with multiset matching against findings."""
+
+    def __init__(self, entries: List[BaselineEntry]) -> None:
+        self.entries = list(entries)
+
+    def split(self, findings: List[Finding]
+              ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition ``findings`` into (new, baselined) and return the stale
+        entries that matched nothing."""
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key] = budget.get(entry.key, 0) + 1
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            remaining = budget.get(finding.key, 0)
+            if remaining > 0:
+                budget[finding.key] = remaining - 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale: List[BaselineEntry] = []
+        spent: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            used_total = sum(1 for f in baselined if f.key == entry.key)
+            seen = spent.get(entry.key, 0)
+            if seen >= used_total:
+                stale.append(entry)
+            spent[entry.key] = seen + 1
+        return new, baselined, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline([])
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: unsupported baseline format")
+    entries: List[BaselineEntry] = []
+    for raw in data.get("entries", []):
+        entries.append(BaselineEntry(
+            path=str(raw["path"]), rule=str(raw["rule"]),
+            message=str(raw["message"]),
+            justification=str(raw.get("justification",
+                                      DEFAULT_JUSTIFICATION))))
+    return Baseline(entries)
+
+
+def write_baseline(path: Path, findings: List[Finding],
+                   previous: Baseline) -> Baseline:
+    """Write a baseline covering ``findings``, keeping the justifications of
+    entries that already existed; new entries get a TODO placeholder."""
+    kept: Dict[Tuple[str, str, str], List[str]] = {}
+    for entry in previous.entries:
+        kept.setdefault(entry.key, []).append(entry.justification)
+    entries: List[BaselineEntry] = []
+    for finding in sorted(findings, key=lambda f: f.key):
+        justifications = kept.get(finding.key)
+        justification = (justifications.pop(0) if justifications
+                         else DEFAULT_JUSTIFICATION)
+        entries.append(BaselineEntry(path=finding.path, rule=finding.rule,
+                                     message=finding.message,
+                                     justification=justification))
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.as_dict() for entry in entries],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return Baseline(entries)

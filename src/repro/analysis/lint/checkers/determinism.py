@@ -1,0 +1,211 @@
+"""DET: determinism rules.
+
+The repo's byte-identical-trace guarantee dies the moment unordered
+iteration reaches a serialization boundary.  These rules catch the
+syntactically visible cases:
+
+* **DET001** — a ``set``/``frozenset`` literal, comprehension, or
+  constructor call flowing into a serialization sink (``json.dump[s]``,
+  ``pickle.dump[s]``, ``marshal.dumps``, ``str.join``) without an enclosing
+  ``sorted(...)``.
+* **DET002** — module-level ``random`` (the unseeded process-global RNG)
+  used outside ``workloads``/``testing``.  Seeded ``random.Random(seed)``
+  instances are fine anywhere.
+* **DET003** — iterating a filesystem enumeration (``glob``/``rglob``/
+  ``iterdir``/``scandir``/``listdir``) whose order is OS-dependent, without
+  ``sorted(...)`` around it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Set
+
+from ..findings import Finding
+from ..registry import Checker, FileContext, register
+
+__all__ = ["DeterminismChecker"]
+
+#: ``module -> functions`` whose call is a serialization sink.
+_SINK_MODULES = {
+    "json": {"dump", "dumps"},
+    "pickle": {"dump", "dumps"},
+    "marshal": {"dump", "dumps"},
+}
+
+#: Filesystem enumerators with OS-dependent ordering (method or function).
+_FS_ENUMERATORS = {"glob", "rglob", "iterdir", "scandir", "listdir"}
+
+#: ``random`` module functions that consume the unseeded global RNG.
+_GLOBAL_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "sample",
+    "shuffle", "uniform", "getrandbits", "gauss", "betavariate",
+    "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+}
+
+
+def _is_sorted_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def _sink_name(node: ast.Call) -> "str | None":
+    """If ``node`` is a serialization sink call, its display name."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if (isinstance(func.value, ast.Name)
+                and func.value.id in _SINK_MODULES
+                and func.attr in _SINK_MODULES[func.value.id]):
+            return f"{func.value.id}.{func.attr}"
+        if func.attr == "join" and isinstance(func.value, ast.Constant) \
+                and isinstance(func.value.value, str):
+            return "str.join"
+    return None
+
+
+def _walk_skipping_sorted(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree but do not descend into ``sorted(...)`` calls — their
+    contents are order-canonicalised by construction."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if _is_sorted_call(child):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _unsorted_sets_within(call: ast.Call) -> Iterator[ast.AST]:
+    """Set-typed expressions reachable from a sink call's arguments without
+    passing through ``sorted``."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if _is_sorted_call(arg):
+            continue
+        if _is_set_expr(arg):
+            yield arg
+        for child in _walk_skipping_sorted(arg):
+            if _is_set_expr(child):
+                yield child
+
+
+def _is_fs_enumeration(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _FS_ENUMERATORS
+    if isinstance(func, ast.Name):
+        return func.id in _FS_ENUMERATORS
+    return False
+
+
+def _imports_global_random(tree: ast.Module) -> Set[str]:
+    """Names in this module that alias the unseeded global RNG's functions:
+    ``{"random"}`` for ``import random``, plus any ``from random import x``
+    for x in the global-RNG function set."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    names.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in _GLOBAL_RANDOM:
+                        names.add(alias.asname or alias.name)
+    return names
+
+
+@register
+class DeterminismChecker(Checker):
+    family = "DET"
+    codes = {
+        "DET001": ("set/frozenset value reaches a serialization sink "
+                   "without an enclosing sorted()"),
+        "DET002": ("unseeded module-level random outside workloads/testing "
+                   "breaks run reproducibility"),
+        "DET003": ("filesystem enumeration iterated without sorted() has "
+                   "OS-dependent order"),
+    }
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._check_sinks(ctx)
+        yield from self._check_random(ctx)
+        yield from self._check_fs_order(ctx)
+
+    def _check_sinks(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = _sink_name(node)
+            if sink is None:
+                continue
+            for offender in _unsorted_sets_within(node):
+                yield ctx.finding(
+                    offender, "DET001",
+                    f"unordered set value flows into {sink}(); wrap the "
+                    "iteration in sorted(...)")
+
+    def _check_random(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.config.allows(ctx.config.random_allowed, ctx.module_path):
+            return
+        aliases = _imports_global_random(ctx.tree)
+        if not aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if (isinstance(func.value, ast.Name)
+                        and func.value.id in aliases
+                        and func.attr in _GLOBAL_RANDOM):
+                    yield ctx.finding(
+                        node, "DET002",
+                        f"random.{func.attr}() uses the unseeded global "
+                        "RNG; use random.Random(seed) and thread it "
+                        "through")
+            elif isinstance(func, ast.Name) and func.id in aliases \
+                    and func.id != "random":
+                yield ctx.finding(
+                    node, "DET002",
+                    f"{func.id}() from the random module uses the unseeded "
+                    "global RNG; use random.Random(seed)")
+
+    def _check_fs_order(self, ctx: FileContext) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        # A comprehension handed straight to sorted(...) is order-safe no
+        # matter what it iterates — collect those first and exempt them.
+        sanctified: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if _is_sorted_call(node):
+                for arg in node.args:
+                    sanctified.add(id(arg))
+
+        def flag(iterable: ast.AST) -> Iterator[Finding]:
+            if id(iterable) in seen or not _is_fs_enumeration(iterable):
+                return
+            seen.add(id(iterable))
+            yield ctx.finding(
+                iterable, "DET003",
+                "directory enumeration order is OS-dependent; wrap in "
+                "sorted(...)")
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                yield from flag(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                if id(node) in sanctified:
+                    continue
+                for generator in node.generators:
+                    yield from flag(generator.iter)

@@ -1,0 +1,180 @@
+"""LOCK: lock-discipline rules.
+
+**LOCK001** — a guarded attribute touched outside a ``with self._lock``
+block.  A class opts in either through the built-in contracts
+(:data:`~..registry.BUILTIN_GUARDS` covers ``JobQueue``, ``ArtifactStore``,
+``EventBus``, ``MetricsRegistry``) or by declaring its own::
+
+    class Cache:
+        _GUARDED_BY = {"_entries": "_lock", "_bytes": "_lock"}
+
+Conventions honoured by the checker:
+
+* ``__init__``/``__new__`` are exempt (no concurrent access before the
+  object escapes its constructor).
+* Methods named ``*_locked`` are exempt — the suffix is the repo's contract
+  that the caller already holds the lock.
+* A nested function or lambda defined inside a ``with self._lock`` block is
+  *not* considered locked: it may run after the block exits (callbacks,
+  gauge functions), so guarded access inside it is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..registry import (BUILTIN_GUARDS, Checker, FileContext, GuardSpec,
+                        register)
+
+__all__ = ["LockDisciplineChecker"]
+
+
+def _declared_guards(cls: ast.ClassDef) -> Optional[GuardSpec]:
+    """A ``_GUARDED_BY = {"attr": "_lock"}`` dict literal in the class body,
+    parsed into a :class:`GuardSpec` (``None`` when absent/malformed)."""
+    for stmt in cls.body:
+        targets: Tuple[ast.expr, ...] = ()
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = tuple(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = (stmt.target,), stmt.value
+        if not any(isinstance(t, ast.Name) and t.id == "_GUARDED_BY"
+                   for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        attrs: Set[str] = set()
+        locks: Set[str] = set()
+        for key, lock in zip(value.keys, value.values):
+            if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    and isinstance(lock, ast.Constant)
+                    and isinstance(lock.value, str)):
+                attrs.add(key.value)
+                locks.add(lock.value)
+        if attrs:
+            return GuardSpec(locks=tuple(sorted(locks)),
+                             attrs=tuple(sorted(attrs)))
+        return None
+    return None
+
+
+def _guard_for(cls: ast.ClassDef) -> Optional[GuardSpec]:
+    declared = _declared_guards(cls)
+    if declared is not None:
+        return declared
+    return BUILTIN_GUARDS.get(cls.name)
+
+
+def _self_name(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> Optional[str]:
+    args = func.args.posonlyargs + func.args.args
+    if not args:
+        return None
+    return args[0].arg
+
+
+def _acquires_lock(item: ast.withitem, self_name: str,
+                   locks: Tuple[str, ...]) -> bool:
+    expr = item.context_expr
+    return (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == self_name
+            and expr.attr in locks)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walk one method body tracking whether the class lock is held."""
+
+    def __init__(self, ctx: FileContext, cls_name: str, self_name: str,
+                 guard: GuardSpec) -> None:
+        self.ctx = ctx
+        self.cls_name = cls_name
+        self.self_name = self_name
+        self.guard = guard
+        self.lock_depth = 0
+        self.findings: list[Finding] = []
+        self._guarded: Set[str] = set(guard.attrs)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
+        acquired = any(_acquires_lock(item, self.self_name, self.guard.locks)
+                       for item in node.items)
+        for item in node.items:
+            self.visit(item)
+        if acquired:
+            self.lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            self.lock_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        # A closure defined under the lock may outlive it — scan its body
+        # as if the lock were not held.
+        saved = self.lock_depth
+        self.lock_depth = 0
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self.lock_depth = saved
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (self.lock_depth == 0
+                and isinstance(node.value, ast.Name)
+                and node.value.id == self.self_name
+                and node.attr in self._guarded):
+            self.findings.append(self.ctx.finding(
+                node, "LOCK001",
+                f"{self.cls_name}.{node.attr} is guarded by "
+                f"{'/'.join(self.guard.locks)} but accessed outside it"))
+        self.generic_visit(node)
+
+
+@register
+class LockDisciplineChecker(Checker):
+    family = "LOCK"
+    codes = {
+        "LOCK001": ("guarded attribute accessed outside a `with self._lock` "
+                    "block (declare contracts via _GUARDED_BY)"),
+    }
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            guard = _guard_for(node)
+            if guard is None:
+                continue
+            yield from self._check_class(ctx, node, guard)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef,
+                     guard: GuardSpec) -> Iterator[Finding]:
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in {"__init__", "__new__"}:
+                continue
+            if stmt.name.endswith("_locked"):
+                continue
+            self_name = _self_name(stmt)
+            if self_name is None:
+                continue
+            scanner = _MethodScanner(ctx, cls.name, self_name, guard)
+            for child in stmt.body:
+                scanner.visit(child)
+            yield from scanner.findings

@@ -1,0 +1,146 @@
+"""OBS: observability-hygiene rules.
+
+**OBS001** — bare output (``print``, ``warnings.warn``, ``sys.stderr.write``)
+outside ``repro/obs/`` and the CLI.  Library code reports through
+``repro.obs.logs`` (loggers, ``warn_once``) so embedders stay in control of
+what reaches the terminal.  ``warnings.warn`` with an explicit
+``DeprecationWarning``/``PendingDeprecationWarning`` category is allowed —
+that is the sanctioned channel for API deprecations.
+
+**OBS002** — a metric family registered at a call site
+(``counter("...")``/``gauge``/``histogram``) must follow the registry naming
+rules: ``repro_`` prefix, lowercase ``[a-z0-9_]``, counters end ``_total``,
+histograms carry a base-unit suffix (``_seconds``/``_bytes``), gauges do
+*not* end ``_total``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, Optional
+
+from ..findings import Finding
+from ..registry import Checker, FileContext, register
+
+__all__ = ["ObsHygieneChecker"]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_DEPRECATION_CATEGORIES = {"DeprecationWarning", "PendingDeprecationWarning"}
+_REGISTRATION_FUNCS = {"counter", "gauge", "histogram"}
+_HISTOGRAM_UNITS = ("_seconds", "_bytes")
+
+
+def _warn_category(node: ast.Call) -> Optional[ast.expr]:
+    """The category argument of a ``warnings.warn`` call, if present."""
+    if len(node.args) >= 2:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "category":
+            return keyword.value
+    return None
+
+
+def _is_deprecation(node: ast.Call) -> bool:
+    category = _warn_category(node)
+    if category is None:
+        return False
+    if isinstance(category, ast.Name):
+        return category.id in _DEPRECATION_CATEGORIES
+    if isinstance(category, ast.Attribute):
+        return category.attr in _DEPRECATION_CATEGORIES
+    return False
+
+
+def _registration_kind(node: ast.Call) -> Optional[str]:
+    """``counter``/``gauge``/``histogram`` when ``node`` registers a metric
+    family with a literal name."""
+    func = node.func
+    name: Optional[str] = None
+    if isinstance(func, ast.Name) and func.id in _REGISTRATION_FUNCS:
+        name = func.id
+    elif isinstance(func, ast.Attribute) and func.attr in _REGISTRATION_FUNCS:
+        name = func.attr
+    if name is None or not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return name
+    return None
+
+
+@register
+class ObsHygieneChecker(Checker):
+    family = "OBS"
+    codes = {
+        "OBS001": ("bare print/warnings.warn/sys.stderr.write outside "
+                   "repro/obs and the CLI; route through repro.obs.logs"),
+        "OBS002": ("metric family name violates the repro_* registry "
+                   "naming rules"),
+    }
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._check_output(ctx)
+        yield from self._check_metric_names(ctx)
+
+    def _check_output(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.config.allows(ctx.config.obs_output_allowed, ctx.module_path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield ctx.finding(
+                    node, "OBS001",
+                    "bare print() in library code; use "
+                    "repro.obs.logs.get_logger(...)")
+            elif isinstance(func, ast.Attribute) and func.attr == "warn" \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "warnings":
+                if not _is_deprecation(node):
+                    yield ctx.finding(
+                        node, "OBS001",
+                        "warnings.warn() outside a deprecation; use "
+                        "repro.obs.logs.warn_once(...)")
+            elif isinstance(func, ast.Attribute) and func.attr == "write":
+                target = func.value
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in {"stderr", "stdout"}
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "sys"):
+                    yield ctx.finding(
+                        node, "OBS001",
+                        f"direct sys.{target.attr}.write(); use "
+                        "repro.obs.logs.get_logger(...)")
+
+    def _check_metric_names(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _registration_kind(node)
+            if kind is None:
+                continue
+            assert isinstance(node.args[0], ast.Constant)
+            name = node.args[0].value
+            prefix = ctx.config.metric_prefix
+            if not name.startswith(prefix) or not _NAME_RE.match(name):
+                yield ctx.finding(
+                    node, "OBS002",
+                    f"metric name {name!r} must match "
+                    f"^{prefix}[a-z0-9_]*$")
+                continue
+            if kind == "counter" and not name.endswith("_total"):
+                yield ctx.finding(
+                    node, "OBS002",
+                    f"counter {name!r} must end with _total")
+            elif kind == "gauge" and name.endswith("_total"):
+                yield ctx.finding(
+                    node, "OBS002",
+                    f"gauge {name!r} must not end with _total (reserved "
+                    "for counters)")
+            elif kind == "histogram" and not name.endswith(_HISTOGRAM_UNITS):
+                yield ctx.finding(
+                    node, "OBS002",
+                    f"histogram {name!r} must carry a base-unit suffix "
+                    f"({'/'.join(_HISTOGRAM_UNITS)})")

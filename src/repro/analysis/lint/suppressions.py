@@ -1,0 +1,89 @@
+"""Per-line suppression comments: ``# repro-lint: disable=RULE[,RULE...]``.
+
+A trailing comment suppresses matching findings on its own line::
+
+    value = risky()  # repro-lint: disable=LOCK001
+
+A standalone comment line suppresses the next code line instead (and any
+directly following comment lines chain through)::
+
+    # repro-lint: disable=DET001  -- ordering is canonicalised downstream
+    payload = encode(entries)
+
+``disable=`` takes rule codes (``LOCK001``), whole families (``LOCK``), or
+``all``.  Everything after the rule list is free text — use it for the
+one-line justification.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+from .findings import Finding
+
+__all__ = ["SuppressionMap", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s+--.*|\s*$)")
+
+
+class SuppressionMap:
+    """Line number -> the set of rule selectors disabled on that line."""
+
+    def __init__(self, by_line: Dict[int, Set[str]]) -> None:
+        self._by_line = by_line
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        selectors = self._by_line.get(finding.line)
+        if not selectors:
+            return False
+        return ("all" in selectors or finding.rule in selectors
+                or finding.family in selectors)
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line)
+
+
+def _selectors(comment: str) -> Set[str]:
+    match = _DIRECTIVE.search(comment)
+    if match is None:
+        return set()
+    return {part.strip() for part in match.group(1).split(",") if part.strip()}
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Build the suppression map for one file's source text.
+
+    Tolerates tokenization failures (the parser reports those separately as
+    PARSE findings) by returning an empty map.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return SuppressionMap({})
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        selectors = _selectors(token.string)
+        if not selectors:
+            continue
+        line = token.start[0]
+        stripped = lines[line - 1].strip() if line - 1 < len(lines) else ""
+        if stripped.startswith("#"):
+            # Standalone comment: apply to the next non-comment, non-blank
+            # line (directly following comment lines chain through).
+            target = line + 1
+            while target - 1 < len(lines):
+                text = lines[target - 1].strip()
+                if text and not text.startswith("#"):
+                    break
+                target += 1
+            by_line.setdefault(target, set()).update(selectors)
+        else:
+            by_line.setdefault(line, set()).update(selectors)
+    return SuppressionMap(by_line)

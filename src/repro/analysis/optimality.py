@@ -25,7 +25,6 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.types import Action, DECIDE_0, DECIDE_1, NOOP
 from ..exchange.base import LocalState
-from ..failures.pattern import FailurePattern
 from ..protocols.base import ActionProtocol
 from ..simulation.engine import simulate
 from ..simulation.runner import Scenario

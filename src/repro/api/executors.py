@@ -41,7 +41,7 @@ from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..obs.bus import BUS, ProgressReporter
 from ..protocols.base import ActionProtocol
-from ..simulation.batch import BatchTask, execute_batch, execute_batches
+from ..simulation.batch import BatchTask, execute_batches
 from ..simulation.engine import simulate
 from ..simulation.trace import RunTrace
 

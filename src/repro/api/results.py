@@ -20,7 +20,7 @@ scenario's name→trace mapping (the ``corresponding_runs`` view).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING, Tuple
 
 from ..core.errors import ConfigurationError
 from ..simulation.runner import BatchResult, Scenario

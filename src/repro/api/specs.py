@@ -20,7 +20,7 @@ shared and forked freely::
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Iterable, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from ..core.errors import ConfigurationError
 from ..core.types import PreferenceVector, validate_preferences

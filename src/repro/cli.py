@@ -57,10 +57,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .api import Executor, RunSpec, executor_from_flags
 from .core.errors import ReproError
-from .obs import trace as obs_trace
-from .obs.bus import BUS
-from .obs.logs import configure_logging
-from .obs.metrics import REGISTRY, render_table
 from .experiments import (
     agreement_violation,
     crash_comparison,
@@ -77,6 +73,10 @@ from .experiments import (
 )
 from .failures.models import available_models
 from .failures.pattern import FailurePattern
+from .obs import trace as obs_trace
+from .obs.bus import BUS
+from .obs.logs import configure_logging
+from .obs.metrics import REGISTRY, render_table
 from .protocols.base import ActionProtocol
 from .reporting.trace_view import render_decision_timeline, render_run
 from .service.wire import PROTOCOL_FACTORIES, THEOREMS
@@ -470,7 +470,7 @@ def _print_submit_result(payload: dict) -> int:
         print(payload["timeline"])
         print()
         if payload["eba_ok"]:
-            print(f"EBA specification: OK (all nonfaulty decide by round "
+            print("EBA specification: OK (all nonfaulty decide by round "
                   f"{payload['eba_deadline']})")
             return 0
         print("EBA specification violated:")
@@ -547,6 +547,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     else:
         print(render_table(snapshot))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST-based invariant linter (see docs/static-analysis.md)."""
+    from .analysis.lint import run_lint_command
+    return run_lint_command(args)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -738,6 +744,16 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parser.add_argument("--http-timeout", type=float, default=10.0,
                             help="per-request HTTP timeout for --url (default 10)")
     obs_parser.set_defaults(handler=_cmd_obs)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant linter (DET/LOCK/OBS/API rules)",
+        description="Static analysis for the repo's determinism, lock-"
+                    "discipline, observability, and API-surface conventions. "
+                    "See docs/static-analysis.md.")
+    from .analysis.lint import add_lint_arguments
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     list_parser = subparsers.add_parser("list", help="list experiments and protocols")
     list_parser.set_defaults(handler=_cmd_list)

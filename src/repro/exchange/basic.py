@@ -16,7 +16,7 @@ decide notification; otherwise it is reset to 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..core.types import Action, AgentId, Value, validate_value
 from .base import InformationExchange, LocalState

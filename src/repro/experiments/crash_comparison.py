@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.dominance import compare_traces
 from ..api import Executor, StoreLike, Sweep
-from ..failures.models import CrashModel
 from ..failures.adversaries import crash_staircase_adversary
+from ..failures.models import CrashModel
 from ..protocols.base import ActionProtocol
 from ..protocols.baselines import NaiveZeroBiasedProtocol
 from ..protocols.pbasic import BasicProtocol

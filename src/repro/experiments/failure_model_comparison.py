@@ -268,7 +268,7 @@ def report(n: int = 4, t: int = 1,
         parts.append("")
         parts.append(format_table(
             [row.as_row() for row in theorems],
-            title=(f"E12 — Theorem 6.5 / 6.6 implementation checks per model "
+            title=("E12 — Theorem 6.5 / 6.6 implementation checks per model "
                    f"(n={theorem_n}, t={theorem_t})"),
         ))
         parts.extend([

@@ -34,10 +34,10 @@ sent by ``i`` to ``j`` in round ``m + 1`` (i.e. during the transition from time
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 
-from ..core.agents import all_agents, complement, validate_agent_set
+from ..core.agents import complement, validate_agent_set
 from ..core.errors import ConfigurationError, FailureModelError
 from ..core.types import AgentId
 

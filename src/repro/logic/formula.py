@@ -20,7 +20,7 @@ Formulas are immutable value objects; evaluation lives in
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Tuple, Union
 
 from ..core.types import AgentId, Value

@@ -32,8 +32,8 @@ from .formula import (
     InitEquals,
     IsNonfaulty,
     Knows,
-    Next,
     NONFAULTY,
+    Next,
     Not,
     Or,
     Previous,

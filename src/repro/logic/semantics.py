@@ -37,7 +37,7 @@ paper uses (their temporal depth is one).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import Any, Dict, FrozenSet, Optional, TYPE_CHECKING
 
 from ..core.errors import ModelCheckingError
 from ..obs import trace as _trace
@@ -57,14 +57,17 @@ from .formula import (
     InitEquals,
     IsNonfaulty,
     Knows,
-    Next,
     NONFAULTY,
+    Next,
     Not,
     Or,
     Previous,
     TimeEquals,
     TrueFormula,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
 
 __all__ = ["BACKENDS", "ModelChecker", "PointSet", "holds", "satisfying_points", "valid"]
 
@@ -102,10 +105,10 @@ class ModelChecker:
         self._full: int = system.full_mask
         self._all_points: PointSet = system.point_set(self._full)
         if backend == "words":
-            self._wcache: Dict[Formula, object] = {}
-            self._full_words = system.full_words()
-            self._final_words = system.time_words(system.horizon)
-            self._initial_words = system.time_words(0)
+            self._wcache: Dict[Formula, "npt.NDArray[Any]"] = {}
+            self._full_words: "npt.NDArray[Any]" = system.full_words()
+            self._final_words: "npt.NDArray[Any]" = system.time_words(system.horizon)
+            self._initial_words: "npt.NDArray[Any]" = system.time_words(0)
 
     # ------------------------------------------------------------------ public API
 
@@ -132,7 +135,7 @@ class ModelChecker:
             self._cache[formula] = mask
         return mask
 
-    def satisfying_words(self, formula: Formula):
+    def satisfying_words(self, formula: Formula) -> "npt.NDArray[Any]":
         """The satisfying set as a canonical ``uint64`` word array (words backend only)."""
         if self.backend != "words":
             raise ModelCheckingError(
@@ -330,7 +333,7 @@ class ModelChecker:
     # arrays.  Every helper keeps its result canonical (tail bits of the last
     # word zero), so word-wise equality is set equality throughout.
 
-    def _evaluate_words(self, formula: Formula):
+    def _evaluate_words(self, formula: Formula) -> "npt.NDArray[Any]":
         system = self.system
         if isinstance(formula, TrueFormula):
             return self._full_words.copy()
@@ -378,7 +381,7 @@ class ModelChecker:
             return self._eventually_words(self.satisfying_words(formula.operand))
         raise ModelCheckingError(f"unsupported formula type: {type(formula).__name__}")
 
-    def _always_future_words(self, inner):
+    def _always_future_words(self, inner: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
         """``□ φ`` on word arrays: the same suffix-AND pipeline as ``_always_future``."""
         final = self._final_words
         result = inner.copy()
@@ -386,7 +389,7 @@ class ModelChecker:
             result &= (_words.shift_down_words(result) & ~final) | final
         return result
 
-    def _eventually_words(self, inner):
+    def _eventually_words(self, inner: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
         """``◇ φ`` on word arrays: suffix OR per run."""
         final = self._final_words
         result = inner.copy()
@@ -394,7 +397,7 @@ class ModelChecker:
             result |= _words.shift_down_words(result) & ~final
         return result
 
-    def _always_words(self, inner):
+    def _always_words(self, inner: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
         """``⊡ φ`` on word arrays: all-or-nothing per run segment."""
         initial = self._initial_words
         result = self._always_future_words(inner) & initial
@@ -402,7 +405,7 @@ class ModelChecker:
             result |= _words.shift_up_words(result, self._full_words) & ~initial
         return result
 
-    def _knows_words(self, agent: int, inner):
+    def _knows_words(self, agent: int, inner: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
         """``K_agent`` on word arrays.
 
         Two vectorized strategies, selected by the agent's class count:
@@ -431,7 +434,8 @@ class ModelChecker:
         bits = _words.unpack_words(inner, self.system.num_points)
         return _words.pack_bits(_words.class_all(class_ids, num_classes, bits))
 
-    def _everyone_knows_words(self, group: Group, inner):
+    def _everyone_knows_words(self, group: Group,
+                              inner: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
         """``E_S`` on word arrays (same NONFAULTY indexical handling as the int path)."""
         if isinstance(group, str):
             if group != NONFAULTY:
@@ -448,7 +452,8 @@ class ModelChecker:
             return result
         raise ModelCheckingError(f"unsupported group specification: {group!r}")
 
-    def _common_knowledge_words(self, group: Group, inner):
+    def _common_knowledge_words(self, group: Group,
+                                inner: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
         """Greatest fixpoint of ``X = E_S(φ ∧ X)`` on word arrays."""
         import numpy as np
         current = self._full_words.copy()

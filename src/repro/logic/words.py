@@ -32,7 +32,7 @@ int-bitmask / word-array suite.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+from typing import Any, List, TYPE_CHECKING, Tuple
 
 try:  # pragma: no cover - exercised implicitly by every word-kernel test
     import numpy as np
@@ -87,7 +87,7 @@ def word_count(num_points: int) -> int:
     return (num_points + WORD_BITS - 1) // WORD_BITS
 
 
-def full_words(num_points: int) -> "npt.NDArray":
+def full_words(num_points: int) -> "npt.NDArray[Any]":
     """The word array with every one of the ``num_points`` bits set.
 
     The tail bits of the last word (when ``num_points % 64 != 0``) are zero —
@@ -103,13 +103,13 @@ def full_words(num_points: int) -> "npt.NDArray":
     return words
 
 
-def zero_words(num_points: int) -> "npt.NDArray":
+def zero_words(num_points: int) -> "npt.NDArray[Any]":
     """The empty set as a word array over ``num_points`` points."""
     _require_numpy()
     return np.zeros(word_count(num_points), dtype=WORD_DTYPE)
 
 
-def mask_to_words(mask: int, num_points: int) -> "npt.NDArray":
+def mask_to_words(mask: int, num_points: int) -> "npt.NDArray[Any]":
     """Convert an ``int`` bitmask over ``num_points`` points to a word array."""
     _require_numpy()
     if mask < 0:
@@ -122,19 +122,19 @@ def mask_to_words(mask: int, num_points: int) -> "npt.NDArray":
     return np.frombuffer(data, dtype=WORD_DTYPE).copy()
 
 
-def words_to_mask(words: "npt.NDArray") -> int:
+def words_to_mask(words: "npt.NDArray[Any]") -> int:
     """Convert a (canonical, tail-clean) word array back to an ``int`` bitmask."""
     return int.from_bytes(np.ascontiguousarray(words, dtype=WORD_DTYPE).tobytes(),
                           "little")
 
 
-def unpack_words(words: "npt.NDArray", num_points: int) -> "npt.NDArray":
+def unpack_words(words: "npt.NDArray[Any]", num_points: int) -> "npt.NDArray[Any]":
     """Per-point 0/1 ``uint8`` vector of a word array (tail bits dropped)."""
     as_bytes = np.ascontiguousarray(words, dtype=WORD_DTYPE).view(np.uint8)
     return np.unpackbits(as_bytes, bitorder="little")[:num_points]
 
 
-def pack_bits(bits: "npt.NDArray") -> "npt.NDArray":
+def pack_bits(bits: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
     """Pack a per-point 0/1 (or bool) vector into a canonical word array.
 
     The inverse of :func:`unpack_words`: the tail bits of the last word are
@@ -149,7 +149,7 @@ def pack_bits(bits: "npt.NDArray") -> "npt.NDArray":
     return packed.view(WORD_DTYPE)
 
 
-def indices_of_words(words: "npt.NDArray", num_points: int) -> "npt.NDArray":
+def indices_of_words(words: "npt.NDArray[Any]", num_points: int) -> "npt.NDArray[Any]":
     """The sorted dense point indices of the set bits (vectorized recovery).
 
     This is the ``np.nonzero``-style replacement for iterating a Python int
@@ -160,7 +160,7 @@ def indices_of_words(words: "npt.NDArray", num_points: int) -> "npt.NDArray":
     return np.nonzero(unpack_words(words, num_points))[0]
 
 
-def indices_of_mask(mask: int) -> "npt.NDArray":
+def indices_of_mask(mask: int) -> "npt.NDArray[Any]":
     """The sorted dense point indices of an ``int`` bitmask's set bits.
 
     Only the bytes up to the mask's highest set bit are materialised, so
@@ -177,7 +177,7 @@ def indices_of_mask(mask: int) -> "npt.NDArray":
     return np.nonzero(bits)[0]
 
 
-def shift_down_words(words: "npt.NDArray") -> "npt.NDArray":
+def shift_down_words(words: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
     """``mask >> 1`` over the packed array: bit ``p`` receives bit ``p + 1``.
 
     Pure shift with cross-word carries; callers apply the same final-time
@@ -189,7 +189,7 @@ def shift_down_words(words: "npt.NDArray") -> "npt.NDArray":
     return out
 
 
-def shift_up_words(words: "npt.NDArray", full: "npt.NDArray") -> "npt.NDArray":
+def shift_up_words(words: "npt.NDArray[Any]", full: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
     """``(mask << 1) & full`` over the packed array: bit ``p`` receives bit ``p - 1``.
 
     ``full`` (from :func:`full_words`) clips the bit shifted past the last
@@ -202,8 +202,8 @@ def shift_up_words(words: "npt.NDArray", full: "npt.NDArray") -> "npt.NDArray":
     return out
 
 
-def class_all(class_ids: "npt.NDArray", num_classes: int,
-              member_bits: "npt.NDArray") -> "npt.NDArray":
+def class_all(class_ids: "npt.NDArray[Any]", num_classes: int,
+              member_bits: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
     """Per-point bool: does *every* point of this point's class satisfy ``member_bits``?
 
     ``class_ids`` maps each point to its equivalence-class id; the reduction
@@ -215,8 +215,8 @@ def class_all(class_ids: "npt.NDArray", num_classes: int,
     return (failing == 0)[class_ids]
 
 
-def class_any(class_ids: "npt.NDArray", num_classes: int,
-              member_bits: "npt.NDArray") -> "npt.NDArray":
+def class_any(class_ids: "npt.NDArray[Any]", num_classes: int,
+              member_bits: "npt.NDArray[Any]") -> "npt.NDArray[Any]":
     """Per-point bool: does *some* point of this point's class satisfy ``member_bits``?
 
     The existential dual of :func:`class_all` — the "some indistinguishable
@@ -226,7 +226,7 @@ def class_any(class_ids: "npt.NDArray", num_classes: int,
     return (hits > 0)[class_ids]
 
 
-def masks_to_matrix(masks: Tuple[int, ...], num_points: int) -> "npt.NDArray":
+def masks_to_matrix(masks: Tuple[int, ...], num_points: int) -> "npt.NDArray[Any]":
     """Stack ``int`` class masks into a dense ``(num_classes, num_words)`` array.
 
     The word-array view of an agent's interned class masks: row ``c`` is class
@@ -253,7 +253,7 @@ def masks_to_matrix(masks: Tuple[int, ...], num_points: int) -> "npt.NDArray":
 DENSE_CLASS_LIMIT = 64
 
 
-def class_ids_from_masks(masks: Tuple[int, ...], num_points: int) -> "npt.NDArray":
+def class_ids_from_masks(masks: Tuple[int, ...], num_points: int) -> "npt.NDArray[Any]":
     """Build the point-indexed class-id vector from interned ``int`` class masks.
 
     The masks partition the point space, so every point gets exactly one id;
@@ -270,7 +270,7 @@ def class_ids_from_masks(masks: Tuple[int, ...], num_points: int) -> "npt.NDArra
     if covered != num_points:
         raise ValueError(
             f"class masks cover {covered} of {num_points} points; they must "
-            f"partition the point space")
+            "partition the point space")
     return ids
 
 

@@ -22,7 +22,7 @@ and the trace-file schema.
 from . import bus, logs, metrics, trace
 from .bus import BUS, EventBus, ProgressReporter
 from .logs import configure_logging, get_logger, warn_once
-from .metrics import REGISTRY, MetricsRegistry, render_table
+from .metrics import MetricsRegistry, REGISTRY, render_table
 from .trace import Tracer
 
 __all__ = [

@@ -71,7 +71,14 @@ class EventBus:
                 del self._subscribers[kind]
 
     def has_subscribers(self, kind: str) -> bool:
-        """Whether anyone is listening — the emitters' cheap pre-check."""
+        """Whether anyone is listening — the emitters' cheap pre-check.
+
+        Deliberately lock-free: dict membership is atomic under the GIL, a
+        stale answer only delays/skips one throttled progress event, and the
+        whole point of this method is to cost one dict lookup on the hot
+        path.  :meth:`emit` re-reads under the lock before delivering.
+        """
+        # repro-lint: disable=LOCK001 -- benign racy pre-check; see docstring
         return kind in self._subscribers
 
     def emit(self, kind: str, **payload: Any) -> int:

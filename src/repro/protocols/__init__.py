@@ -5,9 +5,9 @@ from .baselines import DelayedMinProtocol, EagerOneProtocol, NaiveZeroBiasedProt
 from .pbasic import BasicProtocol
 from .pmin import MinProtocol
 from .popt import (
-    UNKNOWN,
     DecisionOracle,
     OptimalFipProtocol,
+    UNKNOWN,
     chain_condition,
     common_condition,
     no_hidden_chain_condition,

@@ -43,7 +43,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import ProtocolError
-from ..core.types import Action, DECIDE_0, DECIDE_1, NOOP, AgentId, Value
+from ..core.types import Action, AgentId, DECIDE_0, DECIDE_1, NOOP, Value
 from ..exchange.commgraph import CommGraph
 from ..exchange.fip import FipLocalState, FullInformationExchange
 from .base import ActionProtocol

@@ -7,7 +7,7 @@ used; the renderer handles lists of dictionaries with scalar values.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 def format_table(rows: Sequence[Mapping[str, object]],

@@ -203,7 +203,7 @@ class ServiceClient:
             if deadline is not None and time.monotonic() >= deadline:
                 raise ServiceTimeout(
                     f"job {job_id} still {state} after {timeout:.1f}s "
-                    f"(it keeps running server-side; re-submit to re-attach)")
+                    "(it keeps running server-side; re-submit to re-attach)")
             time.sleep(poll_interval)
         if state == DONE:
             return self.result(job_id)

@@ -46,7 +46,7 @@ import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, TYPE_CHECKING
 
 from ..obs import metrics as _metrics
 from ..obs.logs import get_logger, warn_once

@@ -33,7 +33,10 @@ anything (see :mod:`repro.service.jobs`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+#: A decoded JSON object (request and result bodies are always objects).
+JSONObject = Dict[str, Any]
 
 from ..api.specs import RunSpec, SweepSpec
 from ..core.errors import ServiceError
@@ -63,7 +66,7 @@ THEOREMS = ("6.5", "6.6", "a21")
 REQUEST_KINDS = ("run", "sweep", "theorem")
 
 
-def _require(data: dict, field: str, kind: str):
+def _require(data: JSONObject, field: str, kind: str) -> Any:
     if field not in data:
         raise ServiceError(f"{kind} request is missing the {field!r} field")
     return data[field]
@@ -71,7 +74,7 @@ def _require(data: dict, field: str, kind: str):
 
 # ------------------------------------------------------------------ protocols
 
-def decode_protocol(data: dict, where: str = "request") -> ActionProtocol:
+def decode_protocol(data: JSONObject, where: str = "request") -> ActionProtocol:
     """Build the protocol named by ``{"protocol": key, "t": t}``."""
     if not isinstance(data, dict):
         raise ServiceError(f"{where}: protocol must be an object "
@@ -87,7 +90,7 @@ def decode_protocol(data: dict, where: str = "request") -> ActionProtocol:
     return PROTOCOL_FACTORIES[key](t)
 
 
-def encode_protocol(protocol: ActionProtocol) -> dict:
+def encode_protocol(protocol: ActionProtocol) -> JSONObject:
     """The wire encoding of a registered protocol (inverse of :func:`decode_protocol`).
 
     Raises :class:`~repro.core.errors.ServiceError` for a protocol object no
@@ -99,12 +102,12 @@ def encode_protocol(protocol: ActionProtocol) -> dict:
             return {"protocol": key, "t": protocol.t}
     raise ServiceError(
         f"protocol {protocol!r} matches no wire registry key; "
-        f"register a factory in repro.service.wire.PROTOCOL_FACTORIES")
+        "register a factory in repro.service.wire.PROTOCOL_FACTORIES")
 
 
 # ------------------------------------------------------------------ patterns
 
-def encode_pattern(pattern: FailurePattern) -> dict:
+def encode_pattern(pattern: FailurePattern) -> JSONObject:
     """The extensional JSON encoding of a failure pattern (sorted, canonical)."""
     return {
         "n": pattern.n,
@@ -115,7 +118,8 @@ def encode_pattern(pattern: FailurePattern) -> dict:
     }
 
 
-def decode_pattern(data: Optional[dict], where: str = "request") -> Optional[FailurePattern]:
+def decode_pattern(data: Optional[JSONObject],
+                   where: str = "request") -> Optional[FailurePattern]:
     """Rebuild a failure pattern from its wire encoding (``None`` passes through)."""
     if data is None:
         return None
@@ -135,7 +139,8 @@ def decode_pattern(data: Optional[dict], where: str = "request") -> Optional[Fai
         raise ServiceError(f"{where}: invalid failure pattern: {exc}") from exc
 
 
-def _decode_scenario(entry, index: int, where: str) -> tuple:
+def _decode_scenario(entry: Any, index: int,
+                     where: str) -> Tuple[Tuple[Any, ...], Optional[FailurePattern]]:
     try:
         preferences, pattern = entry
     except Exception:
@@ -168,12 +173,12 @@ class JobRequest:
     """
 
     kind: str
-    spec: object
+    spec: Any
     key: str
-    body: Optional[dict] = None
+    body: Optional[JSONObject] = None
 
 
-def _theorem_parts(check: TheoremCheck):
+def _theorem_parts(check: TheoremCheck) -> Tuple[Any, Any, Any]:
     """The (protocol, program, context) triple of a theorem check.
 
     Must mirror :mod:`repro.experiments.implementation_check` exactly: the
@@ -193,7 +198,7 @@ def _theorem_parts(check: TheoremCheck):
     raise ServiceError(f"unknown theorem {check.theorem!r}; one of {THEOREMS}")
 
 
-def request_key(kind: str, spec: object) -> str:
+def request_key(kind: str, spec: Any) -> str:
     """The content key identifying a request's computation in the store."""
     from ..store import implementation_report_key, run_task_key, sweep_key
     if kind == "run":
@@ -220,7 +225,7 @@ def decode_request(data: object) -> JobRequest:
     kind = _require(data, "type", "job")
     if kind == "run":
         protocol = decode_protocol(data, "run request")
-        spec: object = RunSpec(
+        spec: Any = RunSpec(
             protocol=protocol,
             n=_require(data, "n", "run request"),
             preferences=tuple(_require(data, "preferences", "run request")),
@@ -263,7 +268,8 @@ def decode_request(data: object) -> JobRequest:
         raise ServiceError(f"invalid {kind} request: {exc}") from exc
 
 
-def _sweep_from_workload(protocols: Tuple[ActionProtocol, ...], data: dict) -> SweepSpec:
+def _sweep_from_workload(protocols: Tuple[ActionProtocol, ...],
+                         data: JSONObject) -> SweepSpec:
     from ..api.specs import Sweep
     workload = data["workload"]
     if not isinstance(workload, dict):
@@ -271,7 +277,7 @@ def _sweep_from_workload(protocols: Tuple[ActionProtocol, ...], data: dict) -> S
     kind = workload.get("kind", "random")
     if kind != "random":
         raise ServiceError(f"sweep request: unknown workload kind {kind!r} "
-                           f"(only 'random' is defined)")
+                           "(only 'random' is defined)")
     builder = Sweep.of(*protocols).on_random(
         n=_require(workload, "n", "sweep workload"),
         t=_require(workload, "t", "sweep workload"),
@@ -286,7 +292,7 @@ def _sweep_from_workload(protocols: Tuple[ActionProtocol, ...], data: dict) -> S
 
 def run_request(protocol: str, t: int, n: int, preferences: Sequence[int],
                 pattern: Optional[FailurePattern] = None,
-                horizon: Optional[int] = None) -> dict:
+                horizon: Optional[int] = None) -> JSONObject:
     """Build a ``run`` request body (the client-side convenience)."""
     return {"type": "run", "protocol": protocol, "t": t, "n": n,
             "preferences": list(preferences),
@@ -295,18 +301,18 @@ def run_request(protocol: str, t: int, n: int, preferences: Sequence[int],
 
 
 def sweep_request(protocols: Sequence[Tuple[str, int]],
-                  scenarios: Optional[Sequence[tuple]] = None,
-                  workload: Optional[dict] = None,
+                  scenarios: Optional[Sequence[Tuple[Any, Any]]] = None,
+                  workload: Optional[JSONObject] = None,
                   n: Optional[int] = None,
                   horizon: Optional[int] = None,
-                  seed: Optional[int] = None) -> dict:
+                  seed: Optional[int] = None) -> JSONObject:
     """Build a ``sweep`` request body from protocol ``(key, t)`` pairs.
 
     Give either ``scenarios`` (explicit ``(preferences, pattern)`` pairs) or
     ``workload`` (a seeded random-workload description like
     ``{"n": 4, "t": 1, "count": 8, "seed": 0}``).
     """
-    body: dict = {"type": "sweep",
+    body: JSONObject = {"type": "sweep",
                   "protocols": [{"protocol": key, "t": t} for key, t in protocols]}
     if (scenarios is None) == (workload is None):
         raise ServiceError("sweep_request needs exactly one of scenarios= or workload=")
@@ -318,6 +324,7 @@ def sweep_request(protocols: Sequence[Tuple[str, int]],
         if n is not None:
             body["n"] = n
     else:
+        assert workload is not None  # the exactly-one check above
         body["workload"] = dict(workload)
     if horizon is not None:
         body["horizon"] = horizon
@@ -326,14 +333,15 @@ def sweep_request(protocols: Sequence[Tuple[str, int]],
     return body
 
 
-def theorem_request(theorem: str, n: int, t: int) -> dict:
+def theorem_request(theorem: str, n: int, t: int) -> JSONObject:
     """Build a ``theorem`` request body."""
     return {"type": "theorem", "theorem": theorem, "n": n, "t": t}
 
 
 # ------------------------------------------------------------------ execution + results
 
-def execute_request(request: JobRequest, executor=None, store=None) -> dict:
+def execute_request(request: JobRequest, executor: Any = None,
+                    store: Any = None) -> JSONObject:
     """Run a decoded request through the library and render its result payload.
 
     This is what worker threads call: execution goes through the ordinary
@@ -356,7 +364,7 @@ def execute_request(request: JobRequest, executor=None, store=None) -> dict:
     return render_result(request, artifact)
 
 
-def render_result(request: JobRequest, artifact: object) -> dict:
+def render_result(request: JobRequest, artifact: Any) -> JSONObject:
     """The deterministic JSON payload of a finished job.
 
     Determinism is load-bearing: coalesced and cached submissions must return

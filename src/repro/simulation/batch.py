@@ -48,7 +48,7 @@ byte-identical-to-serial contract.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from ..core.errors import ConfigurationError, ProtocolError
 from ..core.types import Action, PreferenceVector, validate_preferences

@@ -11,7 +11,7 @@ on traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.errors import ReproError
 from ..core.types import Action, AgentId, PreferenceVector, Value

@@ -32,7 +32,7 @@ import dataclasses
 import enum
 import hashlib
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from ..core.errors import StoreError
 
@@ -69,7 +69,7 @@ def _qualified_name(cls: type) -> str:
     return f"{cls.__module__}.{cls.__qualname__}"
 
 
-def _sorted_tokens(tokens) -> Tuple[object, ...]:
+def _sorted_tokens(tokens: Iterable[object]) -> Tuple[object, ...]:
     # Tokens are heterogeneous nested tuples; sorting by repr is total and
     # deterministic where direct comparison would raise on mixed types.
     return tuple(sorted(tokens, key=repr))

@@ -43,7 +43,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 from ..core.errors import StoreError
 from ..obs import metrics as _metrics
@@ -304,7 +304,7 @@ class ArtifactStore:
                 return None
             self._hits += 1
             _M_HITS.inc()
-            self._remember(key, artifact)
+            self._remember_locked(key, artifact)
             return artifact
 
     def put(self, key: str, artifact: object, kind: str = "artifact",
@@ -335,11 +335,11 @@ class ArtifactStore:
                 # artifact in the memory layer, so this process still gets
                 # repeat-access sharing even with a dead disk.
                 self._backend_error("put", exc)
-                self._remember(key, artifact)
+                self._remember_locked(key, artifact)
                 return
             self._puts += 1
             _M_PUTS.inc()
-            self._remember(key, artifact)
+            self._remember_locked(key, artifact)
             if self.max_bytes is not None:
                 if self._size_estimate is None:
                     self._size_estimate = self.total_bytes()
@@ -360,7 +360,8 @@ class ArtifactStore:
                 self._backend_error("contains", exc)
                 return False
 
-    def _remember(self, key: str, artifact: object) -> None:
+    def _remember_locked(self, key: str, artifact: object) -> None:
+        # Caller holds self._lock (the _locked suffix is the contract).
         if self.memory_entries <= 0:
             return
         self._memory[key] = artifact
@@ -458,7 +459,11 @@ class ArtifactStore:
                 stats.by_kind[label] = stats.by_kind.get(label, 0) + 1
         except Exception as exc:
             self._backend_error("entries", exc)
-        stats.io_errors = self._io_errors  # include failures from this walk
+        with self._lock:
+            # Re-read under the lock: the walk above may have raised (counted
+            # by _backend_error) and concurrent operations may have failed
+            # too — an unlocked read here could publish a torn count.
+            stats.io_errors = self._io_errors
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

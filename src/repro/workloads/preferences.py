@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterator, List, Sequence, Union
+from typing import Iterator, List, Union
 
-from ..core.types import PreferenceVector, Value
+from ..core.types import PreferenceVector
 
 #: Seed-like argument: an int seeds a fresh ``random.Random``; passing a
 #: ``random.Random`` instance draws from that stream directly, which lets

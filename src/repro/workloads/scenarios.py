@@ -23,9 +23,8 @@ pattern.  This module provides:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from ..core.types import PreferenceVector
 from ..failures.adversaries import (
     hidden_chain_adversary,
     intro_counterexample_adversary,

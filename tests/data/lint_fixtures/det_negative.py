@@ -1,0 +1,29 @@
+"""The compliant twins of det_positive — nothing may fire here."""
+
+import json
+import random
+from pathlib import Path
+
+
+def serialize_members(members):
+    return json.dumps({"members": sorted({1, 2, 3})})
+
+
+def serialize_names(names):
+    return ",".join(sorted(set(names)))
+
+
+def pick_agent(agents, seed):
+    rng = random.Random(seed)  # seeded instance RNG is fine anywhere
+    return rng.choice(agents)
+
+
+def scan_artifacts(root: Path):
+    return [path.name for path in sorted(root.glob("*.json"))]
+
+
+def walk_sources(root: Path):
+    results = []
+    for path in sorted(root.iterdir()):
+        results.append(path)
+    return results

@@ -1,0 +1,39 @@
+"""Seeded DET violations — every rule in the family must fire here."""
+
+import json
+import random
+from pathlib import Path
+
+
+def serialize_members(members):
+    # DET001: a set literal reaches json.dumps without sorted()
+    return json.dumps({"members": list({1, 2, 3})})
+
+
+def serialize_names(names):
+    # DET001: set() constructor inside a join sink
+    return ",".join(set(names))
+
+
+def pick_agent(agents):
+    # DET002: the unseeded global RNG
+    return random.choice(agents)
+
+
+def shuffle_rounds(rounds):
+    # DET002: unseeded shuffle
+    random.shuffle(rounds)
+    return rounds
+
+
+def scan_artifacts(root: Path):
+    # DET003: OS-dependent directory order
+    return [path.name for path in root.glob("*.json")]
+
+
+def walk_sources(root: Path):
+    results = []
+    # DET003: iterdir in a for loop
+    for path in root.iterdir():
+        results.append(path)
+    return results

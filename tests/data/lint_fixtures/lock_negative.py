@@ -1,0 +1,30 @@
+"""Correct lock discipline — nothing may fire here."""
+
+import threading
+
+
+class Cache:
+    _GUARDED_BY = {"_entries": "_lock", "_bytes": "_lock"}
+
+    def __init__(self):
+        # __init__ is exempt: the object has not escaped yet.
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._bytes = 0
+
+    def put(self, key, value, size):
+        with self._lock:
+            self._entries[key] = value
+            self._bytes += size
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries)
+
+    def _evict_one_locked(self):
+        # *_locked methods are exempt: the suffix is the caller-holds-lock
+        # contract.
+        self._entries.popitem()
+
+    def unrelated(self):
+        return self._lock.locked()  # the lock itself is not guarded

@@ -1,0 +1,34 @@
+"""Seeded LOCK violations: guarded state touched outside the lock."""
+
+import threading
+
+
+class Cache:
+    _GUARDED_BY = {"_entries": "_lock", "_bytes": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._bytes = 0
+
+    def put(self, key, value, size):
+        with self._lock:
+            self._entries[key] = value
+        self._bytes += size  # LOCK001: outside the with block
+
+    def snapshot(self):
+        return dict(self._entries)  # LOCK001: no lock at all
+
+    def register_callback(self, bus):
+        with self._lock:
+            # LOCK001: the closure may run after the lock is released
+            bus.subscribe("evict", lambda event: self._entries.clear())
+
+
+class EventBus:  # matches the built-in contract by class name
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._subscribers = {}
+
+    def kinds(self):
+        return list(self._subscribers)  # LOCK001 via the built-in config

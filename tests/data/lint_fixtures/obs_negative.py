@@ -1,0 +1,23 @@
+"""Compliant observability — nothing may fire here."""
+
+import warnings
+
+from repro.obs import metrics as _metrics
+from repro.obs.logs import get_logger
+
+_logger = get_logger("fixture")
+
+
+def report(message):
+    _logger.info("progress: %s", message)
+
+
+def deprecate(message):
+    # Deprecations are the sanctioned warnings.warn channel.
+    warnings.warn(message, DeprecationWarning, stacklevel=2)
+
+
+_M_DONE = _metrics.counter("repro_fixture_done_total", "completed items")
+_M_DEPTH = _metrics.gauge("repro_fixture_depth", "current depth")
+_M_WALL = _metrics.histogram("repro_fixture_wall_seconds", "wall time")
+_M_SIZE = _metrics.histogram("repro_fixture_payload_bytes", "payload size")

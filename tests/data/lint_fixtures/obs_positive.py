@@ -1,0 +1,31 @@
+"""Seeded OBS violations: bare output and bad metric names."""
+
+import sys
+import warnings
+
+from repro.obs import metrics as _metrics
+
+
+def report(message):
+    print("progress:", message)  # OBS001: bare print in library code
+
+
+def complain(message):
+    warnings.warn(message)  # OBS001: non-deprecation warnings.warn
+
+
+def shout(message):
+    sys.stderr.write(message + "\n")  # OBS001: direct stderr write
+
+
+# OBS002: missing repro_ prefix
+_M_BAD_PREFIX = _metrics.counter("jobs_done_total", "no prefix")
+
+# OBS002: counter without _total
+_M_BAD_COUNTER = _metrics.counter("repro_jobs_done", "bad suffix")
+
+# OBS002: gauge must not claim the counter suffix
+_M_BAD_GAUGE = _metrics.gauge("repro_depth_total", "gauge as counter")
+
+# OBS002: histogram without a base-unit suffix
+_M_BAD_HISTOGRAM = _metrics.histogram("repro_job_wall", "no unit")

@@ -1,0 +1,26 @@
+"""Violations silenced by suppression comments — both placements."""
+
+import json
+import threading
+
+
+def serialize_trailing(values):
+    # The trailing form suppresses its own line.
+    return json.dumps(list({1, 2}))  # repro-lint: disable=DET001 -- canonical downstream
+
+
+def serialize_standalone(values):
+    # repro-lint: disable=DET001 -- the consumer re-sorts this payload
+    return json.dumps(list({3, 4}))
+
+
+class Cache:
+    _GUARDED_BY = {"_entries": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def racy_len(self):
+        # repro-lint: disable=LOCK
+        return len(self._entries)

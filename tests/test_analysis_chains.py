@@ -1,6 +1,5 @@
 """Unit tests for 0-chain extraction and the hears-from relation."""
 
-import pytest
 
 from repro.analysis import (
     hears_from,

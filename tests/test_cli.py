@@ -216,7 +216,7 @@ class TestSweepResumeMessage:
                      "--cache-dir", str(cache_dir)]) == 0
         err = capsys.readouterr().err
         assert (f"cache: resuming {len(tasks) - 1} of {len(tasks)} runs "
-                f"(1 already cached)") in err
+                "(1 already cached)") in err
         # Now fully warm: the rerun is silent (sweep-level hit, no resume).
         assert main(["experiment", "e2", "--n", "3", "--t", "1",
                      "--cache-dir", str(cache_dir)]) == 0

@@ -3,11 +3,11 @@
 import pytest
 
 from repro.core.types import (
+    Action,
+    ActionKind,
     DECIDE_0,
     DECIDE_1,
     NOOP,
-    Action,
-    ActionKind,
     decide,
     other_value,
     validate_preferences,

@@ -48,5 +48,13 @@ class TestDocLinks:
         assert not problems, "\n".join(problems)
 
     def test_the_expected_docs_exist(self):
-        for name in ("README.md", "docs/architecture.md", "docs/performance.md"):
+        for name in ("README.md", "docs/architecture.md", "docs/performance.md",
+                     "docs/observability.md", "docs/static-analysis.md"):
             assert (REPO_ROOT / name).exists(), name
+
+    def test_expected_pages_match_check_links(self):
+        """tools/check_links.py's EXPECTED_PAGES is the same roster."""
+        for name in check_links.EXPECTED_PAGES:
+            assert (REPO_ROOT / name).exists(), name
+        assert "docs/observability.md" in check_links.EXPECTED_PAGES
+        assert "docs/static-analysis.md" in check_links.EXPECTED_PAGES

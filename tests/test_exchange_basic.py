@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.core.types import DECIDE_1, NOOP
 from repro.exchange import BasicExchange, DecideNotification, InitOneHeartbeat
 
 

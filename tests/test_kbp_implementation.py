@@ -8,7 +8,7 @@ slow test module.
 
 import pytest
 
-from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.core.types import DECIDE_1, NOOP
 from repro.kbp import (
     TableProtocol,
     check_implements,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.types import DECIDE_0, DECIDE_1, NOOP
-from repro.kbp import KnowledgeBasedProgram, make_p0, make_p1
+from repro.kbp import make_p0, make_p1
 from repro.logic import Knows, ModelChecker
 from repro.protocols import MinProtocol
 from repro.systems import Point, gamma_min

@@ -1,12 +1,8 @@
 """Tests for the Definition 6.2 safety-condition checker (Proposition 6.4)."""
 
-import pytest
 
-from repro.core.types import DECIDE_0, DECIDE_1, NOOP
-from repro.exchange.base import LocalState
 from repro.kbp.safety import check_safety
 from repro.protocols import BasicProtocol, MinProtocol
-from repro.protocols.base import ActionProtocol
 from repro.protocols.baselines import NaiveZeroBiasedProtocol
 from repro.systems import gamma_basic, gamma_min
 

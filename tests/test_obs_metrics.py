@@ -16,11 +16,10 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
-    PROMETHEUS_CONTENT_TYPE,
-    Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
     render_table,
 )
 

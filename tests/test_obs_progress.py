@@ -9,7 +9,6 @@ bus for partial cache resumes.
 from __future__ import annotations
 
 import threading
-import time
 
 import pytest
 

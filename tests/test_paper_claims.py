@@ -7,12 +7,7 @@ harness (``benchmarks/``) reports the same quantities at larger sizes.
 import pytest
 
 from repro.analysis import compare_protocols
-from repro.experiments import (
-    decision_rounds,
-    example_7_1,
-    implementation_check,
-    message_complexity,
-)
+from repro.experiments import decision_rounds, implementation_check, message_complexity
 from repro.failures import SendingOmissionModel
 from repro.protocols import (
     BasicProtocol,

@@ -5,8 +5,8 @@ import pytest
 from repro.core.errors import ProtocolError
 from repro.core.types import DECIDE_0, DECIDE_1, NOOP
 from repro.exchange import BasicExchange
-from repro.exchange.basic import BasicLocalState
 from repro.exchange.base import LocalState
+from repro.exchange.basic import BasicLocalState
 from repro.protocols import BasicProtocol
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.errors import ProtocolError
-from repro.core.types import DECIDE_0, DECIDE_1, NOOP
 from repro.exchange import FullInformationExchange
 from repro.exchange.fip import FipLocalState
 from repro.failures import FailurePattern, silent_adversary

@@ -26,11 +26,11 @@ from repro.service import (
     decode_request,
     run_request,
     sweep_request,
+    wire,
 )
-from repro.service import wire
-from repro.service.jobs import CANCELLED, DONE, FAILED, QUEUED, RUNNING
-from repro.testing import FailOnceProtocol, ServerHarness, SlowProtocol
+from repro.service.jobs import CANCELLED, QUEUED, RUNNING
 from repro.store import ArtifactStore
+from repro.testing import FailOnceProtocol, ServerHarness, SlowProtocol
 
 ROOT = Path(__file__).resolve().parent.parent
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import ConfigurationError, ProtocolError
-from repro.core.types import DECIDE_0, DECIDE_1, NOOP
+from repro.core.types import DECIDE_0, NOOP
 from repro.exchange import DecideNotification
 from repro.failures import FailurePattern
 from repro.protocols import BasicProtocol, MinProtocol, OptimalFipProtocol

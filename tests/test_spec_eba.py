@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import SpecificationViolation
-from repro.protocols import EagerOneProtocol, MinProtocol, NaiveZeroBiasedProtocol
+from repro.protocols import MinProtocol, NaiveZeroBiasedProtocol
 from repro.simulation import simulate
 from repro.spec import (
     check_agreement,
@@ -13,7 +13,7 @@ from repro.spec import (
     check_validity,
     require_eba,
 )
-from repro.workloads import all_ones, hidden_chain_scenario, intro_counterexample
+from repro.workloads import all_ones, intro_counterexample
 
 
 @pytest.fixture

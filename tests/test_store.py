@@ -364,6 +364,22 @@ class TestArtifactStore:
         assert stats.io_errors >= 3
         assert stats.as_dict()["session"]["io_errors"] == stats.io_errors
 
+    def test_stats_counts_failures_from_its_own_walk(self, tmp_path):
+        """``stats()`` publishes the walk's own IO failure in the snapshot it
+        returns (the final counter read happens under the lock, after the
+        walk has recorded its error)."""
+        store = default_store(tmp_path)
+        assert store.stats().io_errors == 0
+
+        class WalkFailsBackend:
+            def entries(self):
+                raise OSError("walk failed")
+
+        store.backend = WalkFailsBackend()
+        stats = store.stats()
+        assert stats.io_errors == 1  # the failed walk itself is included
+        assert stats.entries == 0
+
 
 # --------------------------------------------------------------------------- resolution
 

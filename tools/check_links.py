@@ -23,6 +23,17 @@ LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Pages the docs set must always ship — a rename or deletion that forgets to
+#: update this roster (and the links pointing at the page) fails the docs job.
+EXPECTED_PAGES = (
+    "README.md",
+    "ROADMAP.md",
+    "docs/architecture.md",
+    "docs/performance.md",
+    "docs/observability.md",
+    "docs/static-analysis.md",
+)
+
 
 def iter_markdown_files() -> list[Path]:
     files = sorted(REPO_ROOT.glob("*.md"))
@@ -48,6 +59,9 @@ def broken_links(path: Path) -> list[str]:
 
 def main() -> int:
     problems: list[str] = []
+    for name in EXPECTED_PAGES:
+        if not (REPO_ROOT / name).exists():
+            problems.append(f"expected doc page is missing: {name}")
     checked = 0
     for path in iter_markdown_files():
         checked += 1
